@@ -1,0 +1,70 @@
+// Reproduces Fig. 4: classification accuracy of Base / Full / Full+FE / Disc
+// / Emb-MF / Emb-RW across four datasets and three downstream models
+// (random forest, logistic regression + ElasticNet, 2-layer NN).
+//
+// Expected shape (paper): Full/Full+FE/Disc > Base; Disc <= Full; embeddings
+// match Full(+FE) without using any join information.
+#include <cstdio>
+
+#include "baselines/experiment.h"
+#include "baselines/leva_model.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+
+namespace leva {
+namespace {
+
+void Run() {
+  const std::vector<std::string> datasets = {"genes", "kraken", "ftp",
+                                             "financial"};
+  const std::vector<ModelKind> models = {ModelKind::kRandomForest,
+                                         ModelKind::kLogistic,
+                                         ModelKind::kMlp};
+
+  for (const ModelKind model : models) {
+    std::printf("\n== Fig. 4 (%s): classification accuracy ==\n",
+                ModelKindName(model).c_str());
+    bench::TablePrinter table(
+        {"dataset", "Base", "Full", "Full+FE", "Disc", "Emb-MF", "Emb-RW"});
+    table.PrintHeader();
+    for (const std::string& name : datasets) {
+      auto config = bench::CheckOk(DatasetConfigByName(name), "config");
+      auto data = bench::CheckOk(GenerateSynthetic(config), "generate");
+      auto task = bench::CheckOk(PrepareTask(std::move(data), 0.25, 97),
+                                 "prepare");
+
+      const double base = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kBase, 0, model, 1),
+          "base");
+      const double full = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kFull, 0, model, 1),
+          "full");
+      const double full_fe = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kFull, 20, model, 1),
+          "full+fe");
+      const double disc = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kDisc, 0, model, 1),
+          "disc");
+
+      LevaModel mf(FastLevaConfig(EmbeddingMethod::kMatrixFactorization));
+      const double emb_mf =
+          bench::CheckOk(EvaluateEmbeddingModel(&mf, task, model, 1), "mf");
+      LevaModel rw(FastLevaConfig(EmbeddingMethod::kRandomWalk));
+      const double emb_rw =
+          bench::CheckOk(EvaluateEmbeddingModel(&rw, task, model, 1), "rw");
+
+      table.PrintRow(name, {base, full, full_fe, disc, emb_mf, emb_rw});
+    }
+  }
+  std::printf(
+      "\n(higher is better; embeddings are keyless while Full/Full+FE/Disc "
+      "consume join information)\n");
+}
+
+}  // namespace
+}  // namespace leva
+
+int main() {
+  leva::Run();
+  return 0;
+}

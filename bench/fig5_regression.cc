@@ -1,0 +1,68 @@
+// Reproduces Fig. 5: regression MAE (lower is better) of Base / Full /
+// Full+FE / Disc / Emb-MF / Emb-RW on the two regression datasets, per
+// downstream model (linear regression, ElasticNet, 2-layer NN).
+#include <cstdio>
+
+#include "baselines/experiment.h"
+#include "baselines/leva_model.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+
+namespace leva {
+namespace {
+
+void Run() {
+  const std::vector<std::string> datasets = {"restbase", "bio"};
+  const std::vector<ModelKind> models = {ModelKind::kLinear,
+                                         ModelKind::kElasticNet,
+                                         ModelKind::kMlp};
+
+  for (const std::string& name : datasets) {
+    std::printf("\n== Fig. 5 (%s): regression MAE (lower is better) ==\n",
+                name.c_str());
+    bench::TablePrinter table(
+        {"model", "Base", "Full", "Full+FE", "Disc", "Emb-MF", "Emb-RW"});
+    table.PrintHeader();
+    auto config = bench::CheckOk(DatasetConfigByName(name), "config");
+    auto data = bench::CheckOk(GenerateSynthetic(config), "generate");
+    auto task =
+        bench::CheckOk(PrepareTask(std::move(data), 0.25, 98), "prepare");
+
+    // Fit each embedding once and reuse features across models.
+    LevaModel mf(FastLevaConfig(EmbeddingMethod::kMatrixFactorization));
+    bench::CheckOk(mf.Fit(task.fit_db), "fit mf");
+    const auto mf_data = bench::CheckOk(FeaturizeTask(mf, task), "feat mf");
+    LevaModel rw(FastLevaConfig(EmbeddingMethod::kRandomWalk));
+    bench::CheckOk(rw.Fit(task.fit_db), "fit rw");
+    const auto rw_data = bench::CheckOk(FeaturizeTask(rw, task), "feat rw");
+
+    for (const ModelKind model : models) {
+      const double base = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kBase, 0, model, 1),
+          "base");
+      const double full = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kFull, 0, model, 1),
+          "full");
+      const double full_fe = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kFull, 20, model, 1),
+          "full+fe");
+      const double disc = bench::CheckOk(
+          EvaluateTabularBaseline(task, TabularBaseline::kDisc, 0, model, 1),
+          "disc");
+      const double emb_mf = bench::CheckOk(
+          TrainAndScore(model, mf_data.first, mf_data.second, 1), "mf");
+      const double emb_rw = bench::CheckOk(
+          TrainAndScore(model, rw_data.first, rw_data.second, 1), "rw");
+      table.PrintRow(ModelKindName(model),
+                     {base, full, full_fe, disc, emb_mf, emb_rw});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leva
+
+int main() {
+  leva::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Fig. 7a: runtime and memory of embedding construction as the
+// dataset is replicated K times (rows and distinct tokens both grow linearly
+// in K). Compares EmbDI, Leva-RW and Leva-MF.
+//
+// Expected shape: random-walk methods (EmbDI, Leva-RW) are roughly an order
+// of magnitude slower than Leva-MF; RW uses less memory than MF.
+#include <cstdio>
+
+#include "baselines/graph_models.h"
+#include "baselines/experiment.h"
+#include "baselines/leva_model.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "datagen/datasets.h"
+#include "embed/mf.h"
+
+namespace leva {
+namespace {
+
+struct RunCost {
+  double seconds = 0;
+  double model_mb = 0;  // modeled working-set memory
+};
+
+RunCost RunLeva(EmbeddingMethod method, const Database& db) {
+  WallTimer timer;
+  LevaModel model(FastLevaConfig(method, 42, 64));
+  bench::CheckOk(model.Fit(db), "fit");
+  RunCost cost;
+  cost.seconds = timer.ElapsedSeconds();
+  const LevaGraph& g = model.pipeline().graph();
+  const size_t bytes =
+      method == EmbeddingMethod::kMatrixFactorization
+          ? EstimateMfMemoryBytes(g.NumNodes(), g.NumEdges(), 64)
+          : EstimateRwMemoryBytes(g.NumNodes(), g.NumEdges(), 20, 5, true);
+  cost.model_mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  return cost;
+}
+
+RunCost RunEmbdi(const Database& db) {
+  WallTimer timer;
+  Word2VecOptions w2v;
+  w2v.dim = 64;
+  w2v.epochs = 2;
+  EmbdiModel model(false, w2v, {}, 42);
+  bench::CheckOk(model.Fit(db), "fit embdi");
+  RunCost cost;
+  cost.seconds = timer.ElapsedSeconds();
+  const LevaGraph& g = model.graph();
+  cost.model_mb = static_cast<double>(EstimateRwMemoryBytes(
+                      g.NumNodes(), g.NumEdges(), 20, 5, false)) /
+                  (1024.0 * 1024.0);
+  return cost;
+}
+
+void Run() {
+  std::printf("== Fig. 7a: scalability vs replication factor K ==\n");
+  std::printf("%-6s%-10s%-12s%-12s%-12s%-12s%-12s%-12s\n", "K", "rows",
+              "embdi-s", "rw-s", "mf-s", "embdi-MB", "rw-MB", "mf-MB");
+
+  auto base = bench::CheckOk(GenerateSynthetic(ScalabilityBaseConfig()),
+                             "generate");
+  for (const size_t k : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const auto db = bench::CheckOk(ReplicateDatabase(base.db, k), "replicate");
+    const RunCost embdi = RunEmbdi(db);
+    const RunCost rw = RunLeva(EmbeddingMethod::kRandomWalk, db);
+    const RunCost mf = RunLeva(EmbeddingMethod::kMatrixFactorization, db);
+    std::printf("%-6zu%-10zu%-12.2f%-12.2f%-12.2f%-12.2f%-12.2f%-12.2f\n", k,
+                db.TotalRows(), embdi.seconds, rw.seconds, mf.seconds,
+                embdi.model_mb, rw.model_mb, mf.model_mb);
+  }
+  std::printf("\n(paper Fig. 7a: walk-based methods are ~an order of "
+              "magnitude slower than MF; RW needs less memory than MF)\n");
+}
+
+}  // namespace
+}  // namespace leva
+
+int main() {
+  leva::Run();
+  return 0;
+}

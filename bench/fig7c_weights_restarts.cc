@@ -1,0 +1,55 @@
+// Reproduces Fig. 7c: two random-walk ablations on three datasets —
+// (1) weighted vs unweighted graphs, and (2) restart walks (6 normal epochs +
+// 4 epochs restarting from the worst-represented nodes) vs 10 plain epochs.
+//
+// Expected shape: weighting buys 1-3 accuracy points; restarts help most
+// datasets by a few points.
+#include <cstdio>
+
+#include "baselines/experiment.h"
+#include "baselines/leva_model.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+
+namespace leva {
+namespace {
+
+double RunVariant(const ExperimentTask& task, bool weighted, bool restarts) {
+  LevaConfig cfg = FastLevaConfig(EmbeddingMethod::kRandomWalk, 42, 64);
+  cfg.graph.weighted = weighted;
+  cfg.walks.epochs = 10;
+  cfg.walks.balanced_restarts = restarts;
+  cfg.walks.restart_epochs = 4;
+  LevaModel leva(cfg);
+  return bench::CheckOk(
+      EvaluateEmbeddingModel(&leva, task, ModelKind::kRandomForest, 1),
+      "eval");
+}
+
+void Run() {
+  std::printf("== Fig. 7c: weighted-graph and restart-walk ablations "
+              "(accuracy, RW embeddings) ==\n");
+  bench::TablePrinter table(
+      {"dataset", "unweighted", "weighted", "w+restart"});
+  table.PrintHeader();
+  for (const std::string name : {"genes", "financial", "ftp"}) {
+    auto config = bench::CheckOk(DatasetConfigByName(name), "config");
+    auto data = bench::CheckOk(GenerateSynthetic(config), "generate");
+    auto task =
+        bench::CheckOk(PrepareTask(std::move(data), 0.25, 85), "prepare");
+    const double unweighted = RunVariant(task, false, false);
+    const double weighted = RunVariant(task, true, false);
+    const double restart = RunVariant(task, true, true);
+    table.PrintRow(name, {unweighted, weighted, restart});
+  }
+  std::printf("\n(paper Fig. 7c: weighting boosts accuracy 1-3%%; restart "
+              "walks add a few points on most datasets)\n");
+}
+
+}  // namespace
+}  // namespace leva
+
+int main() {
+  leva::Run();
+  return 0;
+}

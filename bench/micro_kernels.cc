@@ -1,0 +1,130 @@
+// Engineering micro-benchmarks (google-benchmark) for the hot kernels:
+// graph construction, alias-table sampling, sparse mat-mul, randomized SVD,
+// and random-walk generation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "embed/mf.h"
+#include "embed/walks.h"
+#include "graph/alias.h"
+#include "graph/graph.h"
+#include "la/decomp.h"
+#include "la/sparse.h"
+#include "text/textifier.h"
+
+namespace leva {
+namespace {
+
+// Shared fixture state: a mid-sized textified database and its graph.
+struct Fixture {
+  Database db;
+  Textifier textifier;
+  std::vector<TextifiedTable> textified;
+  LevaGraph graph;
+
+  Fixture() {
+    SyntheticConfig c;
+    c.base_rows = 2000;
+    c.dims = {
+        {.name = "d1", .rows = 300, .predictive_numeric = 2,
+         .predictive_categorical = 2, .noise_numeric = 1,
+         .noise_categorical = 1, .categories = 10, .parent = ""},
+        {.name = "d2", .rows = 300, .predictive_numeric = 1,
+         .predictive_categorical = 1, .noise_numeric = 1,
+         .noise_categorical = 1, .categories = 10, .parent = ""},
+    };
+    c.seed = 3;
+    db = std::move(GenerateSynthetic(c).value().db);
+    (void)textifier.Fit(db);
+    for (const Table& t : db.tables()) {
+      textified.push_back(std::move(textifier.Transform(t)).value());
+    }
+    graph = std::move(BuildGraph(textified, textifier.NumAttributes()).value());
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_Textify(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    for (const Table& t : f.db.tables()) {
+      benchmark::DoNotOptimize(f.textifier.Transform(t));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.db.TotalRows()));
+}
+BENCHMARK(BM_Textify);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildGraph(f.textified, f.textifier.NumAttributes()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.db.TotalRows()));
+}
+BENCHMARK(BM_GraphConstruction);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.Uniform(0.1, 10.0);
+  AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_SparseMultiply(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const SparseMatrix m = BuildProximityMatrix(f.graph, 1e-3);
+  Rng rng(2);
+  const Matrix x = Matrix::GaussianRandom(m.cols(), 32, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Multiply(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.nnz()) * 32);
+}
+BENCHMARK(BM_SparseMultiply);
+
+void BM_RandomizedSVD(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const SparseMatrix m = BuildProximityMatrix(f.graph, 1e-3);
+  Rng rng(3);
+  RandomizedSvdOptions options;
+  options.rank = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomizedSVD(m, options, &rng));
+  }
+}
+BENCHMARK(BM_RandomizedSVD)->Arg(16)->Arg(64);
+
+void BM_WalkGeneration(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  WalkOptions options;
+  options.epochs = 1;
+  options.walk_length = 20;
+  options.weighted = state.range(0) != 0;
+  WalkGenerator generator(&f.graph, options);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(&rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.graph.NumNodes()) * 20);
+}
+BENCHMARK(BM_WalkGeneration)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace leva
+
+BENCHMARK_MAIN();

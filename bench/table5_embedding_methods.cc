@@ -1,0 +1,65 @@
+// Reproduces Table 5: classification accuracy of different embedding
+// construction methods on three datasets. Word2Vec embeds the textified rows
+// directly; Node2Vec embeds the raw (unrefined, unweighted) syntactic graph;
+// EmbDI uses a tripartite cell-row-column graph; DeepER composes IDF-weighted
+// token vectors; Emb-MF / Emb-RW are Leva's two methods.
+//
+// Expected shape: graph methods > sequential Word2Vec; Leva's refined graph >
+// all baselines.
+#include <cstdio>
+
+#include "baselines/corpus_models.h"
+#include "baselines/experiment.h"
+#include "baselines/graph_models.h"
+#include "baselines/leva_model.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+
+namespace leva {
+namespace {
+
+void Run() {
+  std::printf("== Table 5: classification accuracy by embedding method "
+              "(random forest downstream) ==\n");
+  bench::TablePrinter table({"dataset", "Word2Vec", "Node2Vec", "EmbDI",
+                             "DeepER", "Emb-MF", "Emb-RW"});
+  table.PrintHeader();
+
+  Word2VecOptions w2v;
+  w2v.dim = 64;
+  w2v.epochs = 2;
+
+  for (const std::string name : {"genes", "financial", "ftp"}) {
+    auto config = bench::CheckOk(DatasetConfigByName(name), "config");
+    auto data = bench::CheckOk(GenerateSynthetic(config), "generate");
+    auto task =
+        bench::CheckOk(PrepareTask(std::move(data), 0.25, 55), "prepare");
+    const ModelKind model = ModelKind::kRandomForest;
+
+    DirectWord2VecModel word2vec(w2v, {}, 3);
+    Node2VecModel node2vec(1.0, 0.5, w2v, {}, 3);
+    EmbdiModel embdi(false, w2v, {}, 3);
+    DeeperModel deeper(w2v, {}, 3);
+    LevaModel mf(FastLevaConfig(EmbeddingMethod::kMatrixFactorization, 3, 64));
+    LevaModel rw(FastLevaConfig(EmbeddingMethod::kRandomWalk, 3, 64));
+
+    std::vector<double> scores;
+    for (EmbeddingModel* m :
+         std::vector<EmbeddingModel*>{&word2vec, &node2vec, &embdi, &deeper,
+                                      &mf, &rw}) {
+      scores.push_back(
+          bench::CheckOk(EvaluateEmbeddingModel(m, task, model, 1), "eval"));
+    }
+    table.PrintRow(name, scores);
+  }
+  std::printf("\n(paper Table 5: Leva MF/RW outperform Word2Vec, Node2Vec, "
+              "EmbDI and DeepER by 3-10 points)\n");
+}
+
+}  // namespace
+}  // namespace leva
+
+int main() {
+  leva::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Table 7: accuracy on the Genes-shaped dataset when an embedding
+// trained at dimension D (rows) is PCA-projected down to dimension r
+// (columns). The diagonal is the un-projected accuracy.
+//
+// Expected shape: moderate dimensions (~50-100) already match or beat larger
+// ones; projecting down loses only a moderate amount of accuracy, so users
+// can shrink stored embeddings without retraining.
+#include <cstdio>
+
+#include "baselines/experiment.h"
+#include "baselines/leva_model.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+#include "la/decomp.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+
+namespace leva {
+namespace {
+
+double EvalLogistic(const MLDataset& train, const MLDataset& test,
+                    size_t num_classes, uint64_t seed) {
+  Rng rng(seed);
+  ElasticNetOptions options;
+  options.lambda = 1e-3;
+  options.epochs = 50;
+  LogisticRegressor model(num_classes, options);
+  bench::CheckOk(model.Fit(train.x, train.y, &rng), "fit");
+  return Accuracy(test.y, model.Predict(test.x));
+}
+
+void Run() {
+  std::printf("== Table 7: accuracy (genes) with embedding size before/after "
+              "PCA projection ==\n");
+  const std::vector<size_t> dims = {5, 25, 50, 100, 200};
+
+  auto config = bench::CheckOk(DatasetConfigByName("genes"), "config");
+  auto data = bench::CheckOk(GenerateSynthetic(config), "generate");
+  auto task =
+      bench::CheckOk(PrepareTask(std::move(data), 0.25, 81), "prepare");
+  const size_t classes = task.encoder.num_classes();
+
+  std::printf("%-10s", "orig\\proj");
+  for (const size_t r : dims) std::printf("%-10zu", r);
+  std::printf("\n");
+
+  for (const size_t d : dims) {
+    LevaConfig cfg =
+        FastLevaConfig(EmbeddingMethod::kMatrixFactorization, 42, d);
+    cfg.featurization = Featurization::kRowOnly;
+    LevaModel model(cfg);
+    bench::CheckOk(model.Fit(task.fit_db), "fit");
+    const auto datasets = bench::CheckOk(FeaturizeTask(model, task), "feat");
+
+    std::printf("%-10zu", d);
+    for (const size_t r : dims) {
+      if (r > d) {
+        std::printf("%-10s", "");
+        continue;
+      }
+      MLDataset train = datasets.first;
+      MLDataset test = datasets.second;
+      if (r < d) {
+        const PCA pca = bench::CheckOk(PCA::Fit(train.x, r), "pca");
+        train.x = pca.Transform(train.x);
+        test.x = pca.Transform(test.x);
+        train.feature_names.resize(r);
+        test.feature_names.resize(r);
+      }
+      std::printf("%-10.3f", EvalLogistic(train, test, classes, 1));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper Table 7: larger sizes are not always better; "
+              "projection loses only moderate accuracy)\n");
+}
+
+}  // namespace
+}  // namespace leva
+
+int main() {
+  leva::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Entity resolution scenario (Section 6.7): match dirty product records
+// across two catalogs using Leva's relational embedding, a task the system
+// was not designed for but handles through the same graph construction.
+#include <cstdio>
+
+#include "baselines/leva_model.h"
+#include "datagen/er_data.h"
+#include "er/entity_resolution.h"
+
+using namespace leva;
+
+int main() {
+  ErConfig config;
+  config.name = "catalog_match";
+  config.entities = 300;
+  config.perturbation = 0.25;  // typos, dropped words, reformatted brands
+  config.seed = 13;
+  auto dataset = GenerateErDataset(config);
+  if (!dataset.ok()) return 1;
+
+  std::printf("Catalog A: %zu rows, Catalog B: %zu rows, %zu labeled pairs\n",
+              dataset->table_a.NumRows(), dataset->table_b.NumRows(),
+              dataset->pairs.size());
+  std::printf("Example A record: \"%s\" / %s\n",
+              dataset->table_a.at(0, 0).as_string().c_str(),
+              dataset->table_a.at(0, 1).as_string().c_str());
+
+  auto db = ErDatabase(*dataset);
+  if (!db.ok()) return 1;
+
+  LevaConfig leva_config;
+  leva_config.method = EmbeddingMethod::kMatrixFactorization;
+  leva_config.embedding_dim = 48;
+  leva_config.featurization = Featurization::kRowOnly;
+  LevaModel model(leva_config);
+  if (Status s = model.Fit(*db); !s.ok()) {
+    std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto result = EvaluateEntityResolution(model, *dataset);
+  if (!result.ok()) {
+    std::fprintf(stderr, "eval: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Matching quality: F1 %.3f (precision %.3f, recall %.3f)\n",
+              result->f1, result->precision, result->recall);
+  return 0;
+}

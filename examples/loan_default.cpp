@@ -1,0 +1,53 @@
+// Loan-default scenario (the Financial dataset of the paper's intro): predict
+// whether a loan defaults when the predictive signal lives in account,
+// district and transaction tables. Compares the analyst's three options —
+// Base Table, Full Table (+FE) — against Leva's keyless embedding.
+#include <cstdio>
+
+#include "baselines/experiment.h"
+#include "baselines/leva_model.h"
+#include "datagen/datasets.h"
+
+using namespace leva;
+
+int main() {
+  auto config = DatasetConfigByName("financial");
+  if (!config.ok()) return 1;
+  auto data = GenerateSynthetic(*config);
+  if (!data.ok()) return 1;
+  std::printf("Financial-shaped database: %zu tables, %zu rows total\n",
+              data->db.tables().size(), data->db.TotalRows());
+
+  auto task = PrepareTask(std::move(*data), 0.25, 101);
+  if (!task.ok()) return 1;
+
+  const ModelKind model = ModelKind::kRandomForest;
+  auto report = [&](const char* label, Result<double> score) {
+    if (score.ok()) {
+      std::printf("  %-28s accuracy %.3f\n", label, *score);
+    } else {
+      std::printf("  %-28s failed: %s\n", label,
+                  score.status().ToString().c_str());
+    }
+  };
+
+  std::printf("\nAnalyst options (random forest downstream):\n");
+  report("Base Table (no effort)",
+         EvaluateTabularBaseline(*task, TabularBaseline::kBase, 0, model, 1));
+  report("Full Table (knows joins)",
+         EvaluateTabularBaseline(*task, TabularBaseline::kFull, 0, model, 1));
+  report("Full + Feature Engineering",
+         EvaluateTabularBaseline(*task, TabularBaseline::kFull, 20, model, 1));
+  report("Discovery system joins",
+         EvaluateTabularBaseline(*task, TabularBaseline::kDisc, 0, model, 1));
+
+  std::printf("\nLeva (keyless, no human effort):\n");
+  LevaModel mf(FastLevaConfig(EmbeddingMethod::kMatrixFactorization));
+  report("Leva embedding (MF)", EvaluateEmbeddingModel(&mf, *task, model, 1));
+  LevaModel rw(FastLevaConfig(EmbeddingMethod::kRandomWalk));
+  report("Leva embedding (RW)", EvaluateEmbeddingModel(&rw, *task, model, 1));
+
+  std::printf("\nLeva sits in the top-right quadrant of the paper's Fig. 1: "
+              "Full-Table-level accuracy at Base-Table-level effort.\n");
+  return 0;
+}

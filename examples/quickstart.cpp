@@ -1,0 +1,91 @@
+// Quickstart: build a tiny relational database in memory, run the Leva
+// pipeline, and train a classifier on the resulting embedding — no keys or
+// join paths ever provided.
+//
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "ml/featurize.h"
+#include "ml/metrics.h"
+#include "ml/tree.h"
+
+using namespace leva;
+
+int main() {
+  // 1. A database: a base table with the target plus two dimension tables
+  //    reachable only through (undeclared) foreign keys.
+  SyntheticConfig config;
+  config.base_rows = 600;
+  config.classification = true;
+  config.num_classes = 2;
+  config.dims = {
+      {.name = "customers", .rows = 80, .predictive_numeric = 2,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 1, .categories = 8, .parent = ""},
+      {.name = "regions", .rows = 20, .predictive_numeric = 1,
+       .predictive_categorical = 1, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 6, .parent = "customers"},
+  };
+  config.seed = 7;
+  auto data = GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Fit Leva. The pipeline textifies every table, builds and refines the
+  //    row/value graph, and embeds it (MF or RW chosen by memory budget).
+  //    Drop the target column first: embeddings are unsupervised.
+  Database features_db;
+  for (const Table& t : data->db.tables()) {
+    Table copy = t;
+    if (t.name() == "base") {
+      (void)copy.DropColumn(*copy.ColumnIndex("target"));
+    }
+    (void)features_db.AddTable(std::move(copy));
+  }
+
+  LevaConfig leva_config;
+  leva_config.embedding_dim = 64;
+  LevaPipeline pipeline(leva_config);
+  if (Status s = pipeline.Fit(features_db); !s.ok()) {
+    std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("Fitted: %zu graph nodes, %zu edges, method = %s\n",
+              pipeline.graph().NumNodes(), pipeline.graph().NumEdges(),
+              pipeline.chosen_method() == EmbeddingMethod::kMatrixFactorization
+                  ? "matrix factorization"
+                  : "random walks");
+
+  // 3. Featurize the base table with the embedding and split train/test.
+  const Table* base = data->db.FindTable("base");
+  TargetEncoder encoder;
+  (void)encoder.Fit(*base->FindColumn("target"), /*classification=*/true);
+  auto featurized = pipeline.Featurize(*base, "target", encoder,
+                                       /*rows_in_graph=*/true);
+  if (!featurized.ok()) {
+    std::fprintf(stderr, "featurize: %s\n",
+                 featurized.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(1);
+  TrainTestSplit split = SplitTrainTest(*featurized, 0.25, &rng);
+  StandardizeFeatures(&split.train, &split.test);
+
+  // 4. Train any off-the-shelf model on the embedding features.
+  ForestOptions forest_options;
+  forest_options.num_trees = 50;
+  forest_options.tree.num_classes = encoder.num_classes();
+  RandomForest forest(forest_options);
+  (void)forest.Fit(split.train.x, split.train.y, &rng);
+  const double accuracy =
+      Accuracy(split.test.y, forest.Predict(split.test.x));
+
+  std::printf("Test accuracy with Leva features: %.3f\n", accuracy);
+  std::printf("(no keys, no join paths, no feature engineering)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "baselines/corpus_models.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace leva {
+
+Status DirectWord2VecModel::Fit(const Database& db) {
+  Rng rng(seed_);
+  textifier_ = Textifier(textify_options_);
+  LEVA_RETURN_IF_ERROR(textifier_.Fit(db));
+
+  // Vocabulary and per-row sentences.
+  std::unordered_map<std::string, uint32_t> vocab;
+  std::vector<std::string> vocab_tokens;
+  std::vector<std::vector<uint32_t>> corpus;
+  token_row_freq_.clear();
+  total_rows_ = 0;
+
+  for (const Table& t : db.tables()) {
+    LEVA_ASSIGN_OR_RETURN(const TextifiedTable tt, textifier_.Transform(t));
+    for (const auto& row : tt.rows) {
+      std::vector<uint32_t> sentence;
+      sentence.reserve(row.size());
+      std::unordered_map<std::string, bool> seen_in_row;
+      for (const TextToken& tok : row) {
+        auto [it, inserted] =
+            vocab.emplace(tok.token, static_cast<uint32_t>(vocab.size()));
+        if (inserted) vocab_tokens.push_back(tok.token);
+        sentence.push_back(it->second);
+        if (!seen_in_row[tok.token]) {
+          seen_in_row[tok.token] = true;
+          token_row_freq_[tok.token] += 1.0;
+        }
+      }
+      if (!sentence.empty()) corpus.push_back(std::move(sentence));
+      ++total_rows_;
+    }
+  }
+  if (vocab.empty()) return Status::InvalidArgument("no tokens in database");
+
+  Word2Vec model(w2v_options_);
+  LEVA_RETURN_IF_ERROR(model.Train(corpus, vocab.size(), &rng));
+
+  embedding_ = Embedding(w2v_options_.dim);
+  const Matrix& vectors = model.node_vectors();
+  for (size_t i = 0; i < vocab_tokens.size(); ++i) {
+    LEVA_RETURN_IF_ERROR(embedding_.Put(
+        vocab_tokens[i], {vectors.RowPtr(i), vectors.cols()}));
+  }
+  return Status::OK();
+}
+
+double DirectWord2VecModel::TokenWeight(const std::string& token) const {
+  (void)token;
+  return 1.0;
+}
+
+double DeeperModel::TokenWeight(const std::string& token) const {
+  const auto it = token_row_freq_.find(token);
+  const double freq = it == token_row_freq_.end() ? 1.0 : it->second;
+  return std::log(1.0 + static_cast<double>(total_rows_) / freq);
+}
+
+Result<std::vector<double>> DirectWord2VecModel::RowVector(
+    const Table& table, size_t row, const std::string& target_column,
+    bool rows_in_graph) const {
+  (void)rows_in_graph;  // no row nodes in a pure text corpus
+  std::vector<double> out(embedding_.dim(), 0.0);
+  double total_weight = 0.0;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.name == target_column) continue;
+    LEVA_ASSIGN_OR_RETURN(
+        const std::vector<std::string> tokens,
+        textifier_.TransformCell(table.name(), col.name, col.values[row]));
+    for (const std::string& token : tokens) {
+      const auto vec = embedding_.Get(token);
+      if (vec.empty()) continue;
+      const double w = TokenWeight(token);
+      total_weight += w;
+      for (size_t j = 0; j < out.size(); ++j) out[j] += w * vec[j];
+    }
+  }
+  if (total_weight > 0) {
+    for (double& v : out) v /= total_weight;
+  }
+  return out;
+}
+
+}  // namespace leva

@@ -1,0 +1,82 @@
+#include "baselines/discovery.h"
+
+#include <unordered_set>
+
+#include "table/join.h"
+
+namespace leva {
+namespace {
+
+std::unordered_set<std::string> DistinctValues(const Column& col) {
+  std::unordered_set<std::string> out;
+  for (const Value& v : col.values) {
+    if (v.is_null()) continue;
+    std::string s = v.ToDisplayString();
+    if (!s.empty()) out.insert(std::move(s));
+  }
+  return out;
+}
+
+double Containment(const std::unordered_set<std::string>& base,
+                   const std::unordered_set<std::string>& other) {
+  if (base.empty()) return 0.0;
+  size_t hits = 0;
+  for (const std::string& s : base) {
+    if (other.count(s) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(base.size());
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredJoin>> DiscoverJoins(
+    const Database& db, const std::string& base_table,
+    const DiscoveryOptions& options) {
+  const Table* base = db.FindTable(base_table);
+  if (base == nullptr) {
+    return Status::NotFound("base table '" + base_table + "' not found");
+  }
+  std::vector<DiscoveredJoin> joins;
+  for (const Column& base_col : base->columns()) {
+    const auto base_distinct = DistinctValues(base_col);
+    if (base_distinct.size() < options.min_distinct) continue;
+    // Best target per base column (a discovery system ranks candidates).
+    DiscoveredJoin best;
+    for (const Table& other : db.tables()) {
+      if (other.name() == base_table) continue;
+      for (const Column& other_col : other.columns()) {
+        if (other_col.DistinctRatio() < options.key_distinct_ratio) continue;
+        const double containment =
+            Containment(base_distinct, DistinctValues(other_col));
+        if (containment >= options.containment_threshold &&
+            containment > best.containment) {
+          best = {base_col.name, other.name(), other_col.name, containment};
+        }
+      }
+    }
+    if (!best.other_table.empty()) joins.push_back(std::move(best));
+  }
+  return joins;
+}
+
+Result<Table> MaterializeDiscoveredTable(const Database& db,
+                                         const std::string& base_table,
+                                         const DiscoveryOptions& options) {
+  const Table* base = db.FindTable(base_table);
+  if (base == nullptr) {
+    return Status::NotFound("base table '" + base_table + "' not found");
+  }
+  LEVA_ASSIGN_OR_RETURN(const std::vector<DiscoveredJoin> joins,
+                        DiscoverJoins(db, base_table, options));
+  Table result = *base;
+  for (const DiscoveredJoin& join : joins) {
+    const Table* other = db.FindTable(join.other_table);
+    if (other == nullptr) continue;
+    LEVA_ASSIGN_OR_RETURN(result,
+                          LeftJoinAggregate(result, *other, join.base_column,
+                                            join.other_column));
+  }
+  return result;
+}
+
+}  // namespace leva

@@ -1,0 +1,52 @@
+#ifndef LEVA_BASELINES_DISCOVERY_H_
+#define LEVA_BASELINES_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace leva {
+
+/// Parameters of the Aurum/Lazo-style join-discovery baseline ("Disc" in the
+/// evaluation): candidate joins are proposed when the containment of the base
+/// column's distinct values in another column exceeds a threshold and the
+/// other column is key-like.
+struct DiscoveryOptions {
+  /// |distinct(base) ∩ distinct(other)| / |distinct(base)| threshold.
+  double containment_threshold = 0.8;
+  /// The proposed join target must have distinct ratio at least this high
+  /// (join onto something key-like to avoid blowups).
+  double key_distinct_ratio = 0.9;
+  /// Minimum distinct values in the base column to bother proposing a join.
+  size_t min_distinct = 5;
+  /// Only single-hop joins from the base table (discovery systems propose
+  /// pairwise joinability; multi-hop path assembly is the human's job, which
+  /// is exactly why Disc trails Full in the paper).
+  bool single_hop_only = true;
+};
+
+struct DiscoveredJoin {
+  std::string base_column;   // column in the (possibly grown) base table
+  std::string other_table;
+  std::string other_column;
+  double containment = 0.0;
+};
+
+/// Proposes joins from `base_table` into the rest of `db` by containment of
+/// distinct display-string sets. Purely syntactic: it can propose spurious
+/// joins and miss semantic ones.
+Result<std::vector<DiscoveredJoin>> DiscoverJoins(
+    const Database& db, const std::string& base_table,
+    const DiscoveryOptions& options = {});
+
+/// Materializes the Disc training table: the base table left-join-aggregated
+/// with every discovered join target.
+Result<Table> MaterializeDiscoveredTable(const Database& db,
+                                         const std::string& base_table,
+                                         const DiscoveryOptions& options = {});
+
+}  // namespace leva
+
+#endif  // LEVA_BASELINES_DISCOVERY_H_

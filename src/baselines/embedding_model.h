@@ -1,0 +1,46 @@
+#ifndef LEVA_BASELINES_EMBEDDING_MODEL_H_
+#define LEVA_BASELINES_EMBEDDING_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "embed/embedding.h"
+#include "ml/dataset.h"
+#include "ml/featurize.h"
+#include "table/table.h"
+
+namespace leva {
+
+/// Common interface over embedding construction methods compared in Table 5:
+/// Leva (MF/RW), direct Word2Vec, Node2Vec, EmbDI-style, and DeepER-style.
+/// Fit sees the database without test rows; RowVector featurizes one row of a
+/// base-table slice (`rows_in_graph` distinguishes fitted rows from held-out
+/// rows, which are composed from token embeddings).
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  virtual Status Fit(const Database& db) = 0;
+
+  virtual Result<std::vector<double>> RowVector(
+      const Table& table, size_t row, const std::string& target_column,
+      bool rows_in_graph) const = 0;
+
+  /// Feature width produced by RowVector.
+  virtual size_t dim() const = 0;
+
+  /// The underlying token/row embedding store.
+  virtual const Embedding& embedding() const = 0;
+};
+
+/// Builds an MLDataset by calling `model->RowVector` on every row of `table`.
+Result<MLDataset> FeaturizeWithModel(const EmbeddingModel& model,
+                                     const Table& table,
+                                     const std::string& target_column,
+                                     const TargetEncoder& encoder,
+                                     bool rows_in_graph);
+
+}  // namespace leva
+
+#endif  // LEVA_BASELINES_EMBEDDING_MODEL_H_

@@ -1,0 +1,83 @@
+#ifndef LEVA_BASELINES_EXPERIMENT_H_
+#define LEVA_BASELINES_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/embedding_model.h"
+#include "baselines/tabular.h"
+#include "common/result.h"
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "ml/featurize.h"
+
+namespace leva {
+
+/// A prepared evaluation task: the base table split into train/test rows,
+/// the fit database, and a shared target encoding.
+///
+/// Embedding construction is unsupervised and transductive, the standard
+/// node-embedding protocol: `fit_db` contains every base row's *features*
+/// (the target column is dropped so labels can never leak into the graph),
+/// and the downstream model only ever sees training-row labels. Genuinely
+/// unseen deployment data is exercised separately through the
+/// `rows_in_graph = false` featurization path.
+struct ExperimentTask {
+  SyntheticDataset data;
+  std::vector<size_t> train_rows;
+  std::vector<size_t> test_rows;
+  Table train_table;  // base-table slice, named like the base table
+  Table test_table;
+  Database fit_db;    // full database with the base table's target dropped
+  TargetEncoder encoder;
+};
+
+Result<ExperimentTask> PrepareTask(SyntheticDataset data,
+                                   double test_fraction, uint64_t seed);
+
+/// Downstream models of the evaluation (Section 6.2).
+enum class ModelKind {
+  kRandomForest,
+  kLogistic,   // logistic regression + ElasticNet (classification)
+  kLinear,     // plain linear regression (regression)
+  kElasticNet, // linear regression + ElasticNet (regression)
+  kMlp,        // 2-layer fully connected network
+};
+
+std::string ModelKindName(ModelKind kind);
+
+/// Grid-searches (3-fold CV) then fits on train and scores on test.
+/// Returns accuracy for classification, MAE for regression. `wide_grid`
+/// enables the larger fine-tuning grid of Fig. 6a.
+Result<double> TrainAndScore(ModelKind kind, const MLDataset& train,
+                             const MLDataset& test, uint64_t seed,
+                             bool wide_grid = false);
+
+/// Featurizes a task's base table with an already-fitted embedding model and
+/// splits into standardized train/test datasets. Fitting once and reusing the
+/// features across downstream models is how the Fig. 4/5 sweeps stay cheap.
+Result<std::pair<MLDataset, MLDataset>> FeaturizeTask(
+    const EmbeddingModel& fitted_model, const ExperimentTask& task);
+
+/// End-to-end evaluation of an embedding model on a prepared task: fit on
+/// task.fit_db, featurize, grid-search, score.
+Result<double> EvaluateEmbeddingModel(EmbeddingModel* model,
+                                      const ExperimentTask& task,
+                                      ModelKind kind, uint64_t seed,
+                                      bool wide_grid = false);
+
+/// End-to-end evaluation of a tabular baseline (Base / Full / Disc; pass
+/// `top_k_features` > 0 for Full+FE).
+Result<double> EvaluateTabularBaseline(const ExperimentTask& task,
+                                       TabularBaseline baseline,
+                                       size_t top_k_features, ModelKind kind,
+                                       uint64_t seed);
+
+/// Leva configuration with reduced walk/training budgets, sized for the
+/// single-core benchmark runs (the library defaults follow Table 2).
+LevaConfig FastLevaConfig(EmbeddingMethod method, uint64_t seed = 42,
+                          size_t dim = 100);
+
+}  // namespace leva
+
+#endif  // LEVA_BASELINES_EXPERIMENT_H_

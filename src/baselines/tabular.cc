@@ -1,0 +1,59 @@
+#include "baselines/tabular.h"
+
+#include "ml/featurize.h"
+#include "table/join.h"
+
+namespace leva {
+
+Result<std::pair<Table, std::string>> MaterializeBaselineTable(
+    const Database& db, const std::string& base_table,
+    const std::string& target_column, TabularBaseline kind,
+    const DiscoveryOptions& disc_options) {
+  switch (kind) {
+    case TabularBaseline::kBase: {
+      const Table* base = db.FindTable(base_table);
+      if (base == nullptr) {
+        return Status::NotFound("base table '" + base_table + "' not found");
+      }
+      return std::make_pair(*base, target_column);
+    }
+    case TabularBaseline::kFull: {
+      LEVA_ASSIGN_OR_RETURN(Table full, MaterializeFullTable(db, base_table));
+      // MaterializeFullTable qualifies the base columns.
+      return std::make_pair(std::move(full), base_table + "." + target_column);
+    }
+    case TabularBaseline::kDisc: {
+      LEVA_ASSIGN_OR_RETURN(
+          Table disc, MaterializeDiscoveredTable(db, base_table, disc_options));
+      return std::make_pair(std::move(disc), target_column);
+    }
+  }
+  return Status::InvalidArgument("unknown baseline kind");
+}
+
+Result<std::pair<MLDataset, MLDataset>> BuildTabularDatasets(
+    const Table& materialized, const std::string& target_column,
+    bool classification, const std::vector<size_t>& train_rows,
+    const std::vector<size_t>& test_rows, size_t top_k_features, Rng* rng) {
+  Table train_table = materialized.SubsetRows(train_rows);
+  Table test_table = materialized.SubsetRows(test_rows);
+  train_table.set_name(materialized.name());
+  test_table.set_name(materialized.name());
+
+  OneHotFeaturizer featurizer;
+  LEVA_RETURN_IF_ERROR(
+      featurizer.Fit(train_table, target_column, classification));
+  LEVA_ASSIGN_OR_RETURN(MLDataset train, featurizer.Transform(train_table));
+  LEVA_ASSIGN_OR_RETURN(MLDataset test, featurizer.Transform(test_table));
+
+  if (top_k_features > 0 && top_k_features < train.NumFeatures()) {
+    LEVA_ASSIGN_OR_RETURN(const std::vector<size_t> selected,
+                          SelectTopKFeatures(train, top_k_features, rng));
+    train = train.SelectFeatures(selected);
+    test = test.SelectFeatures(selected);
+  }
+  StandardizeFeatures(&train, &test);
+  return std::make_pair(std::move(train), std::move(test));
+}
+
+}  // namespace leva

@@ -1,0 +1,41 @@
+#ifndef LEVA_BASELINES_TABULAR_H_
+#define LEVA_BASELINES_TABULAR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/discovery.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "table/table.h"
+
+namespace leva {
+
+/// The non-embedding baselines of Section 6.1.
+enum class TabularBaseline {
+  kBase,  ///< the Base Table only
+  kFull,  ///< ground-truth joins over the whole database
+  kDisc,  ///< joins proposed by the discovery system
+};
+
+/// Materializes the training table for `kind`. Returns the table plus the
+/// (possibly qualified) target column name inside it.
+Result<std::pair<Table, std::string>> MaterializeBaselineTable(
+    const Database& db, const std::string& base_table,
+    const std::string& target_column, TabularBaseline kind,
+    const DiscoveryOptions& disc_options = {});
+
+/// One-hot encodes a materialized table into train/test datasets over the
+/// given base-row split; when `top_k_features` > 0 a random-forest
+/// feature-selection pass runs on the training slice first (this is the
+/// "+FE" step of Full+FE).
+Result<std::pair<MLDataset, MLDataset>> BuildTabularDatasets(
+    const Table& materialized, const std::string& target_column,
+    bool classification, const std::vector<size_t>& train_rows,
+    const std::vector<size_t>& test_rows, size_t top_k_features, Rng* rng);
+
+}  // namespace leva
+
+#endif  // LEVA_BASELINES_TABULAR_H_

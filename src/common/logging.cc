@@ -1,0 +1,17 @@
+#include "common/logging.h"
+
+namespace leva {
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal_logging {
+bool ShouldLog(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level);
+}
+}  // namespace internal_logging
+
+}  // namespace leva

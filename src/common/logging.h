@@ -1,0 +1,43 @@
+#ifndef LEVA_COMMON_LOGGING_H_
+#define LEVA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace leva {
+
+/// Log verbosity for the whole process. Benchmarks set kWarning to keep the
+/// reported tables clean; tests may set kDebug.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level (trivially destructible global).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+bool ShouldLog(LogLevel level);
+}  // namespace internal_logging
+
+}  // namespace leva
+
+/// printf-style leveled logging to stderr.
+#define LEVA_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (::leva::internal_logging::ShouldLog(::leva::LogLevel::level)) {   \
+      std::fprintf(stderr, "[%s] ", #level + 1);                          \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+    }                                                                     \
+  } while (0)
+
+/// Invariant check that survives NDEBUG; aborts with a message on failure.
+#define LEVA_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "LEVA_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // LEVA_COMMON_LOGGING_H_

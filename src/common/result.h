@@ -1,0 +1,75 @@
+#ifndef LEVA_COMMON_RESULT_H_
+#define LEVA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace leva {
+
+/// A value-or-Status container (the StatusOr / arrow::Result idiom).
+///
+/// Usage:
+///   Result<Graph> g = BuildGraph(db);
+///   if (!g.ok()) return g.status();
+///   Use(*g);
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so `return value;` and
+  /// `return Status::...;` both work.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {   // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace leva
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define LEVA_ASSIGN_OR_RETURN(lhs, expr)          \
+  LEVA_ASSIGN_OR_RETURN_IMPL(                     \
+      LEVA_CONCAT_NAME(_leva_result_, __LINE__), lhs, expr)
+
+#define LEVA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define LEVA_CONCAT_NAME(a, b) LEVA_CONCAT_NAME_INNER(a, b)
+#define LEVA_CONCAT_NAME_INNER(a, b) a##b
+
+#endif  // LEVA_COMMON_RESULT_H_

@@ -1,0 +1,48 @@
+#ifndef LEVA_COMMON_STRING_UTIL_H_
+#define LEVA_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leva {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double, requiring the whole string to be consumed.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Parses an int64, requiring the whole string to be consumed.
+std::optional<int64_t> ParseInt(std::string_view s);
+
+/// True if `s` (after trimming and lower-casing) is a common textual
+/// representation of a missing value: "", "?", "null", "n/a", "na", "none",
+/// "nan", "-". The voting mechanism (Section 3.2) is the primary missing-data
+/// defense; this list is only used by dataset generators and tests.
+bool LooksLikeMissingToken(std::string_view s);
+
+/// Formats `v` with `precision` decimal digits.
+std::string FormatDouble(double v, int precision = 3);
+
+/// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS" (also with a 'T' separator)
+/// into seconds since the Unix epoch (UTC, proleptic Gregorian). Returns
+/// nullopt on malformed input or out-of-range fields.
+std::optional<int64_t> ParseIsoDatetime(std::string_view s);
+
+/// Formats an epoch timestamp back to "YYYY-MM-DD HH:MM:SS".
+std::string FormatIsoDatetime(int64_t epoch_seconds);
+
+}  // namespace leva
+
+#endif  // LEVA_COMMON_STRING_UTIL_H_

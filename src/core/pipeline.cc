@@ -1,0 +1,199 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace leva {
+
+Status LevaPipeline::Fit(const Database& db) {
+  Rng rng(config_.seed);
+  profile_.Clear();
+
+  // Stage 1: input & textification.
+  std::vector<TextifiedTable> textified;
+  {
+    ScopedStageTimer timer(&profile_, "textify");
+    textifier_ = Textifier(config_.textify);
+    LEVA_RETURN_IF_ERROR(textifier_.Fit(db));
+    textified.reserve(db.tables().size());
+    for (const Table& t : db.tables()) {
+      LEVA_ASSIGN_OR_RETURN(TextifiedTable tt, textifier_.Transform(t));
+      textified.push_back(std::move(tt));
+    }
+  }
+
+  // Stages 2-3: graph construction & refinement (Algorithm 1).
+  {
+    ScopedStageTimer timer(&profile_, "graph");
+    LEVA_ASSIGN_OR_RETURN(
+        graph_,
+        BuildGraph(textified, textifier_.NumAttributes(), config_.graph));
+  }
+
+  // Method selection: MF when the estimated memory fits the budget
+  // (Section 4.2 "Why Two Methods?").
+  chosen_ = config_.method;
+  if (chosen_ == EmbeddingMethod::kAuto) {
+    const size_t mf_bytes = EstimateMfMemoryBytes(
+        graph_.NumNodes(), graph_.NumEdges(), config_.embedding_dim);
+    chosen_ = mf_bytes <= config_.memory_budget_bytes
+                  ? EmbeddingMethod::kMatrixFactorization
+                  : EmbeddingMethod::kRandomWalk;
+    LEVA_LOG(kDebug, "auto method: MF estimate %zu bytes -> %s", mf_bytes,
+             chosen_ == EmbeddingMethod::kMatrixFactorization ? "MF" : "RW");
+  }
+
+  // Stage 4: embedding construction.
+  Matrix node_vectors;
+  if (chosen_ == EmbeddingMethod::kMatrixFactorization) {
+    ScopedStageTimer timer(&profile_, "factorization");
+    MfOptions mf = config_.mf;
+    mf.dim = config_.embedding_dim;
+    LEVA_ASSIGN_OR_RETURN(node_vectors,
+                          MatrixFactorizationEmbed(graph_, mf, &rng));
+  } else if (chosen_ == EmbeddingMethod::kLine) {
+    ScopedStageTimer timer(&profile_, "edge_sampling");
+    LineOptions line = config_.line;
+    line.dim = config_.embedding_dim;
+    LEVA_ASSIGN_OR_RETURN(node_vectors, LineEmbed(graph_, line, &rng));
+  } else {
+    WalkCorpus corpus;
+    {
+      ScopedStageTimer timer(&profile_, "walk_generation");
+      WalkOptions walk_options = config_.walks;
+      walk_options.weighted = config_.graph.weighted && walk_options.weighted;
+      WalkGenerator generator(&graph_, walk_options);
+      LEVA_ASSIGN_OR_RETURN(corpus, generator.Generate(&rng));
+    }
+    {
+      ScopedStageTimer timer(&profile_, "embedding_training");
+      Word2VecOptions w2v = config_.word2vec;
+      w2v.dim = config_.embedding_dim;
+      Word2Vec model(w2v);
+      LEVA_RETURN_IF_ERROR(model.Train(corpus, graph_.NumNodes(), &rng));
+      node_vectors = model.node_vectors();
+    }
+  }
+
+  // Store vectors keyed by node label.
+  {
+    ScopedStageTimer timer(&profile_, "deploy_index");
+    embedding_ = Embedding(node_vectors.cols());
+    for (NodeId n = 0; n < graph_.NumNodes(); ++n) {
+      LEVA_RETURN_IF_ERROR(embedding_.Put(
+          graph_.label(n), {node_vectors.RowPtr(n), node_vectors.cols()}));
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void LevaPipeline::ComposeFromTokens(const std::vector<std::string>& tokens,
+                                     std::vector<double>* out) const {
+  const size_t dim = embedding_.dim();
+  out->assign(dim, 0.0);
+  double total_weight = 0.0;
+  for (const std::string& token : tokens) {
+    const auto vec = embedding_.Get(token);
+    if (vec.empty()) continue;
+    // Hub value nodes shared by many rows carry little inclusion-dependency
+    // signal, so the aggregation mirrors the edge weighting of Section 3.2:
+    // inverse to the value node's degree.
+    double w = 1.0;
+    if (config_.graph.weighted) {
+      const NodeId vn = graph_.ValueNode(token);
+      if (vn != kInvalidNode && graph_.Degree(vn) > 0) {
+        w = 1.0 / static_cast<double>(graph_.Degree(vn));
+      }
+    }
+    total_weight += w;
+    for (size_t j = 0; j < dim; ++j) (*out)[j] += w * vec[j];
+  }
+  if (total_weight > 0) {
+    for (double& v : *out) v /= total_weight;
+  }
+}
+
+Result<std::vector<double>> LevaPipeline::RowVector(
+    const Table& table, size_t row, const std::string& target_column,
+    bool rows_in_graph) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline is not fitted");
+  const size_t dim = embedding_.dim();
+
+  // Collect the row's tokens, skipping the target column (no label leakage).
+  std::vector<std::string> tokens;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.name == target_column) continue;
+    LEVA_ASSIGN_OR_RETURN(
+        std::vector<std::string> cell,
+        textifier_.TransformCell(table.name(), col.name, col.values[row]));
+    for (std::string& t : cell) tokens.push_back(std::move(t));
+  }
+
+  // "Row" featurization: the row-node embedding (Section 6.5.1). Rows not
+  // present in the fitted graph — genuinely unseen deployment data — fall
+  // back to the mean of their tokens' value-node embeddings, with unseen
+  // numeric values quantized into existing bins (Section 2.4).
+  std::vector<double> row_vec;
+  if (rows_in_graph) {
+    const auto vec = embedding_.Get(table.name() + ":" + std::to_string(row));
+    if (vec.empty()) {
+      return Status::NotFound("row node missing for '" + table.name() + ":" +
+                              std::to_string(row) + "'");
+    }
+    row_vec.assign(vec.begin(), vec.end());
+  } else {
+    ComposeFromTokens(tokens, &row_vec);
+  }
+  if (config_.featurization == Featurization::kRowOnly) return row_vec;
+
+  // Row + Value: concatenate the value-node embeddings that share edges with
+  // the row (aggregated by mean).
+  std::vector<double> value_vec;
+  ComposeFromTokens(tokens, &value_vec);
+  row_vec.reserve(2 * dim);
+  row_vec.insert(row_vec.end(), value_vec.begin(), value_vec.end());
+  return row_vec;
+}
+
+Result<MLDataset> LevaPipeline::Featurize(const Table& table,
+                                          const std::string& target_column,
+                                          const TargetEncoder& encoder,
+                                          bool rows_in_graph) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline is not fitted");
+  LEVA_ASSIGN_OR_RETURN(const size_t target_idx,
+                        table.ColumnIndex(target_column));
+
+  const size_t dim = embedding_.dim();
+  const size_t width =
+      config_.featurization == Featurization::kRowPlusValue ? 2 * dim : dim;
+
+  MLDataset ds;
+  ds.classification = encoder.classification();
+  ds.num_classes = encoder.classification() ? encoder.num_classes() : 2;
+  ds.x = Matrix(table.NumRows(), width);
+  ds.y.resize(table.NumRows());
+  ds.feature_names.reserve(width);
+  for (size_t j = 0; j < dim; ++j) {
+    ds.feature_names.push_back("emb" + std::to_string(j));
+  }
+  if (width == 2 * dim) {
+    for (size_t j = 0; j < dim; ++j) {
+      ds.feature_names.push_back("val" + std::to_string(j));
+    }
+  }
+
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    LEVA_ASSIGN_OR_RETURN(
+        const std::vector<double> vec,
+        RowVector(table, r, target_column, rows_in_graph));
+    for (size_t j = 0; j < width; ++j) ds.x(r, j) = vec[j];
+    LEVA_ASSIGN_OR_RETURN(ds.y[r], encoder.Encode(table.at(r, target_idx)));
+  }
+  return ds;
+}
+
+}  // namespace leva

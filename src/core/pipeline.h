@@ -1,0 +1,105 @@
+#ifndef LEVA_CORE_PIPELINE_H_
+#define LEVA_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "embed/embedding.h"
+#include "embed/line.h"
+#include "embed/mf.h"
+#include "embed/walks.h"
+#include "embed/word2vec.h"
+#include "graph/graph.h"
+#include "ml/dataset.h"
+#include "ml/featurize.h"
+#include "table/table.h"
+#include "text/textifier.h"
+
+namespace leva {
+
+/// Which embedding method the construction stage uses (Section 4.2).
+enum class EmbeddingMethod {
+  kAuto,                 ///< MF when the estimated memory fits, else RW
+  kMatrixFactorization,  ///< randomized SVD of the proximity matrix
+  kRandomWalk,           ///< random walks + Word2Vec
+  kLine,                 ///< LINE-style edge sampling (plug-in extension)
+};
+
+/// How Base-Table rows are featurized at deployment (Section 4.4).
+enum class Featurization {
+  kRowOnly,       ///< the row-node embedding
+  kRowPlusValue,  ///< row embedding ++ mean of adjacent value-node embeddings
+};
+
+/// End-to-end configuration (Table 2 defaults).
+struct LevaConfig {
+  TextifyOptions textify;
+  GraphOptions graph;
+  EmbeddingMethod method = EmbeddingMethod::kAuto;
+  size_t embedding_dim = 100;
+  Featurization featurization = Featurization::kRowPlusValue;
+  /// Memory budget steering the kAuto MF/RW decision.
+  size_t memory_budget_bytes = size_t{1} << 30;
+  WalkOptions walks;
+  Word2VecOptions word2vec;
+  MfOptions mf;
+  LineOptions line;
+  uint64_t seed = 42;
+};
+
+/// The Leva system (Fig. 2): textification -> graph construction ->
+/// refinement -> embedding construction -> deployment. Fit consumes the
+/// whole database (which must contain the Base Table, minus any held-out
+/// test rows); Featurize turns Base-Table slices into training datasets.
+class LevaPipeline {
+ public:
+  explicit LevaPipeline(LevaConfig config = {}) : config_(std::move(config)) {}
+
+  /// Runs stages 1-4 over `db`. Test data must not be part of `db`
+  /// (Section 2.4).
+  Status Fit(const Database& db);
+
+  /// Deploys the embedding on `table` (stage 5). When `rows_in_graph` is
+  /// true, row i maps to the row node "<table>:<i>" created at Fit time;
+  /// otherwise (held-out data) each row's vector is composed from the value
+  /// node embeddings of its textified tokens, with unseen numeric values
+  /// falling into existing histogram bins and unseen strings contributing
+  /// nothing (the paper's unseen-data handling).
+  Result<MLDataset> Featurize(const Table& table,
+                              const std::string& target_column,
+                              const TargetEncoder& encoder,
+                              bool rows_in_graph) const;
+
+  /// Vector for one row under the current featurization strategy.
+  Result<std::vector<double>> RowVector(const Table& table, size_t row,
+                                        const std::string& target_column,
+                                        bool rows_in_graph) const;
+
+  const Embedding& embedding() const { return embedding_; }
+  const LevaGraph& graph() const { return graph_; }
+  const Textifier& textifier() const { return textifier_; }
+  EmbeddingMethod chosen_method() const { return chosen_; }
+  /// Wall-clock per pipeline stage (Fig. 6b/6c).
+  const StageProfile& profile() const { return profile_; }
+  const LevaConfig& config() const { return config_; }
+
+ private:
+  // Mean of the value-node embeddings of `tokens` into `out` (zeros when no
+  // token is known).
+  void ComposeFromTokens(const std::vector<std::string>& tokens,
+                         std::vector<double>* out) const;
+
+  LevaConfig config_;
+  Textifier textifier_;
+  LevaGraph graph_;
+  Embedding embedding_;
+  EmbeddingMethod chosen_ = EmbeddingMethod::kAuto;
+  StageProfile profile_;
+  bool fitted_ = false;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_CORE_PIPELINE_H_

@@ -1,0 +1,175 @@
+#include "datagen/datasets.h"
+
+namespace leva {
+
+SyntheticConfig GenesConfig(uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "genes";
+  c.base_rows = 1200;
+  c.classification = true;
+  c.num_classes = 3;
+  c.missing_rate = 0.10;
+  c.base_noise_categorical = 2;
+  c.base_noise_numeric = 0;  // string-heavy dataset (93% string columns)
+  c.dims = {
+      {.name = "gene_attrs", .rows = 120, .predictive_numeric = 1,
+       .predictive_categorical = 3, .noise_numeric = 0,
+       .noise_categorical = 2, .categories = 10, .parent = ""},
+      {.name = "interactions", .rows = 150, .predictive_numeric = 0,
+       .predictive_categorical = 2, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 8, .parent = ""},
+  };
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig KrakenConfig(uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "kraken";
+  c.base_rows = 2000;
+  c.classification = true;
+  c.num_classes = 2;
+  c.missing_rate = 0.0;
+  c.base_noise_categorical = 0;
+  c.base_noise_numeric = 2;  // all-numeric sensor data (0% string columns)
+  c.dims.reserve(9);
+  for (int i = 0; i < 9; ++i) {
+    DimTableSpec d;
+    d.name = "sensor" + std::to_string(i);
+    d.rows = 40;  // dense FK cardinality, as in the 31K-row original
+    d.predictive_numeric = i < 3 ? 2 : 0;  // only some sensors matter
+    d.predictive_categorical = 0;
+    d.noise_numeric = i < 3 ? 1 : 3;
+    d.noise_categorical = 0;
+    c.dims.push_back(d);
+  }
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig FtpConfig(uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "ftp";
+  c.base_rows = 2000;
+  c.classification = true;
+  c.num_classes = 2;  // binary gender label
+  c.missing_rate = 0.08;
+  c.base_noise_numeric = 1;
+  c.base_noise_categorical = 1;
+  c.dims = {
+      {.name = "sessions", .rows = 500, .predictive_numeric = 1,
+       .predictive_categorical = 2, .noise_numeric = 1,
+       .noise_categorical = 1, .categories = 12, .parent = ""},
+  };
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig FinancialConfig(uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "financial";
+  c.base_rows = 2000;  // scaled down from the paper's 1M rows
+  c.classification = true;
+  c.num_classes = 2;  // loan default
+  c.missing_rate = 0.0;
+  c.base_noise_numeric = 2;
+  c.base_noise_categorical = 1;
+  c.dims = {
+      {.name = "account", .rows = 120, .predictive_numeric = 2,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 0, .categories = 8, .parent = ""},
+      {.name = "district", .rows = 40, .predictive_numeric = 1,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 1, .categories = 6, .parent = "account"},
+      {.name = "orders", .rows = 100, .predictive_numeric = 1,
+       .predictive_categorical = 0, .noise_numeric = 2,
+       .noise_categorical = 0, .categories = 8, .parent = ""},
+      {.name = "trans", .rows = 120, .predictive_numeric = 2,
+       .predictive_categorical = 0, .noise_numeric = 1,
+       .noise_categorical = 0, .categories = 8, .parent = ""},
+      {.name = "disp", .rows = 80, .predictive_numeric = 0,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 0, .categories = 6, .parent = ""},
+      {.name = "card", .rows = 50, .predictive_numeric = 0,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 0, .categories = 5, .parent = "disp"},
+      {.name = "client", .rows = 80, .predictive_numeric = 1,
+       .predictive_categorical = 0, .noise_numeric = 1,
+       .noise_categorical = 1, .categories = 8, .parent = "disp"},
+  };
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig RestbaseConfig(uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "restbase";
+  c.base_rows = 1500;
+  c.classification = false;  // review-score regression
+  c.missing_rate = 0.0;
+  c.base_noise_numeric = 0;
+  c.base_noise_categorical = 2;  // string-heavy
+  c.dims = {
+      {.name = "restaurants", .rows = 200, .predictive_numeric = 1,
+       .predictive_categorical = 3, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 10, .parent = ""},
+      {.name = "geo", .rows = 60, .predictive_numeric = 0,
+       .predictive_categorical = 2, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 8, .parent = "restaurants"},
+  };
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig BioConfig(uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "bio";
+  c.base_rows = 1500;
+  c.classification = false;  // bioactivity regression
+  c.missing_rate = 0.12;
+  c.base_noise_numeric = 0;
+  c.base_noise_categorical = 2;
+  c.dims = {
+      {.name = "atoms", .rows = 150, .predictive_numeric = 1,
+       .predictive_categorical = 2, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 10, .parent = ""},
+      {.name = "bonds", .rows = 100, .predictive_numeric = 0,
+       .predictive_categorical = 2, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 8, .parent = "atoms"},
+  };
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig ScalabilityBaseConfig(uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "scalability";
+  c.base_rows = 1000;
+  c.classification = true;
+  c.num_classes = 2;
+  c.base_noise_numeric = 1;
+  c.base_noise_categorical = 1;
+  c.dims = {
+      {.name = "dim_a", .rows = 500, .predictive_numeric = 1,
+       .predictive_categorical = 1, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 12, .parent = ""},
+      {.name = "dim_b", .rows = 500, .predictive_numeric = 1,
+       .predictive_categorical = 1, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 12, .parent = ""},
+  };
+  c.seed = seed;
+  return c;
+}
+
+Result<SyntheticConfig> DatasetConfigByName(const std::string& name,
+                                            uint64_t seed_offset) {
+  if (name == "genes") return GenesConfig(11 + seed_offset);
+  if (name == "kraken") return KrakenConfig(12 + seed_offset);
+  if (name == "ftp") return FtpConfig(13 + seed_offset);
+  if (name == "financial") return FinancialConfig(14 + seed_offset);
+  if (name == "restbase") return RestbaseConfig(15 + seed_offset);
+  if (name == "bio") return BioConfig(16 + seed_offset);
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+}  // namespace leva

@@ -1,0 +1,42 @@
+#ifndef LEVA_DATAGEN_DATASETS_H_
+#define LEVA_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+
+namespace leva {
+
+/// Named generator configurations mirroring the shape of the paper's
+/// evaluation datasets (Table 4): number of tables, classification vs
+/// regression, missing data, string-column share. Row counts are scaled
+/// down (the paper's Financial has 1M rows) to keep single-core runs
+/// tractable; DESIGN.md documents the substitution.
+///
+///   name        #tables  task  missing  string-heavy
+///   genes       3        C(3)  yes      yes
+///   kraken      10       C(2)  no       no (numeric sensors)
+///   ftp         2        C(2)  yes      mixed
+///   financial   8        C(2)  no       mostly numeric
+///   restbase    3        R     no       yes
+///   bio         3        R     yes      yes
+SyntheticConfig GenesConfig(uint64_t seed = 11);
+SyntheticConfig KrakenConfig(uint64_t seed = 12);
+SyntheticConfig FtpConfig(uint64_t seed = 13);
+SyntheticConfig FinancialConfig(uint64_t seed = 14);
+SyntheticConfig RestbaseConfig(uint64_t seed = 15);
+SyntheticConfig BioConfig(uint64_t seed = 16);
+
+/// Lookup by name ("genes", "kraken", "ftp", "financial", "restbase", "bio").
+Result<SyntheticConfig> DatasetConfigByName(const std::string& name,
+                                            uint64_t seed_offset = 0);
+
+/// The 3-table/2000-row/5-column synthetic dataset of the scalability
+/// experiment (Section 6.4), before replication.
+SyntheticConfig ScalabilityBaseConfig(uint64_t seed = 21);
+
+}  // namespace leva
+
+#endif  // LEVA_DATAGEN_DATASETS_H_

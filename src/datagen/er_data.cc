@@ -1,0 +1,172 @@
+#include "datagen/er_data.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace leva {
+namespace {
+
+// Small word vocabulary for product names; shared tokens are what link
+// matching records in the graph.
+std::string Word(size_t i) { return "word" + std::to_string(i); }
+
+struct Entity {
+  std::vector<std::string> name_tokens;
+  std::string brand;
+  std::string category;
+  double price = 0.0;
+};
+
+Entity MakeEntity(Rng* rng) {
+  Entity e;
+  const size_t len = 2 + rng->UniformInt(3);  // 2-4 tokens
+  for (size_t i = 0; i < len; ++i) {
+    e.name_tokens.push_back(Word(rng->UniformInt(220)));
+  }
+  e.brand = "brand" + std::to_string(rng->UniformInt(25));
+  e.category = "cat" + std::to_string(rng->UniformInt(12));
+  e.price = rng->Uniform(5.0, 500.0);
+  return e;
+}
+
+// Applies table-B dirtiness to a copy of `e`.
+Entity Perturb(const Entity& e, double rate, Rng* rng) {
+  Entity out = e;
+  // Name: drop a token and/or typo one token.
+  if (out.name_tokens.size() > 1 && rng->Bernoulli(rate)) {
+    out.name_tokens.erase(out.name_tokens.begin() +
+                          static_cast<ptrdiff_t>(
+                              rng->UniformInt(out.name_tokens.size())));
+  }
+  if (rng->Bernoulli(rate)) {
+    std::string& tok = out.name_tokens[rng->UniformInt(out.name_tokens.size())];
+    tok[rng->UniformInt(tok.size())] = 'x';  // typo
+  }
+  if (rng->Bernoulli(rate)) {
+    // Case reformatting: purely syntactic dirt that input normalization
+    // (EmbDI-F) undoes but raw token matching does not.
+    std::string& tok = out.name_tokens[rng->UniformInt(out.name_tokens.size())];
+    for (char& c : tok) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (rng->Bernoulli(rate)) {
+    // Extra marketing token unrelated to the entity.
+    out.name_tokens.push_back("extra" + std::to_string(rng->UniformInt(40)));
+  }
+  if (rng->Bernoulli(rate)) {
+    out.brand = ToLower(out.brand) + "-inc";  // brand reformatting
+  }
+  if (rng->Bernoulli(rate)) {
+    out.price = out.price * rng->Uniform(0.9, 1.1);  // price jitter
+  }
+  return out;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+// GCC 12 reports a spurious -Wmaybe-uninitialized through the inlined
+// std::variant move inside vector::push_back here (GCC bug 105562).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+Status AddEntityRows(Table* table, const std::vector<Entity>& entities) {
+  Column name;
+  name.name = "name";
+  name.type = DataType::kString;
+  Column brand;
+  brand.name = "brand";
+  brand.type = DataType::kString;
+  Column category;
+  category.name = "category";
+  category.type = DataType::kString;
+  Column price;
+  price.name = "price";
+  price.type = DataType::kDouble;
+  name.values.reserve(entities.size());
+  brand.values.reserve(entities.size());
+  category.values.reserve(entities.size());
+  price.values.reserve(entities.size());
+  for (const Entity& e : entities) {
+    name.values.push_back(Value(JoinTokens(e.name_tokens)));
+    brand.values.push_back(Value(e.brand));
+    category.values.push_back(Value(e.category));
+    price.values.push_back(Value(e.price));
+  }
+  LEVA_RETURN_IF_ERROR(table->AddColumn(std::move(name)));
+  LEVA_RETURN_IF_ERROR(table->AddColumn(std::move(brand)));
+  LEVA_RETURN_IF_ERROR(table->AddColumn(std::move(category)));
+  LEVA_RETURN_IF_ERROR(table->AddColumn(std::move(price)));
+  return Status::OK();
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+Result<ErDataset> GenerateErDataset(const ErConfig& config) {
+  if (config.entities < 4) {
+    return Status::InvalidArgument("need at least 4 entities");
+  }
+  Rng rng(config.seed);
+  ErDataset out;
+  out.name = config.name;
+  out.table_a = Table("table_a");
+  out.table_b = Table("table_b");
+
+  std::vector<Entity> a_entities;
+  std::vector<Entity> b_entities;
+  a_entities.reserve(config.entities);
+  b_entities.reserve(config.entities);
+  for (size_t i = 0; i < config.entities; ++i) {
+    const Entity e = MakeEntity(&rng);
+    a_entities.push_back(e);
+    b_entities.push_back(Perturb(e, config.perturbation, &rng));
+  }
+  // Shuffle table B so row indices carry no signal.
+  std::vector<size_t> b_order = rng.Permutation(config.entities);
+  std::vector<Entity> b_shuffled(config.entities);
+  std::vector<size_t> a_to_b(config.entities);
+  for (size_t i = 0; i < config.entities; ++i) {
+    b_shuffled[b_order[i]] = b_entities[i];
+    a_to_b[i] = b_order[i];
+  }
+  LEVA_RETURN_IF_ERROR(AddEntityRows(&out.table_a, a_entities));
+  LEVA_RETURN_IF_ERROR(AddEntityRows(&out.table_b, b_shuffled));
+
+  // Candidate pairs: every match plus `negatives_per_match` random negatives.
+  for (size_t i = 0; i < config.entities; ++i) {
+    out.pairs.push_back({i, a_to_b[i], true});
+    for (size_t k = 0; k < config.negatives_per_match; ++k) {
+      size_t j = rng.UniformInt(config.entities);
+      if (j == a_to_b[i]) j = (j + 1) % config.entities;
+      out.pairs.push_back({i, j, false});
+    }
+  }
+  rng.Shuffle(&out.pairs);
+  return out;
+}
+
+Result<ErDataset> ErDatasetByName(const std::string& name, uint64_t seed) {
+  ErConfig config;
+  config.name = name;
+  config.seed = seed;
+  if (name == "beeradvo_ratebeer") {
+    config.perturbation = 0.10;
+  } else if (name == "walmart_amazon") {
+    config.perturbation = 0.25;
+  } else if (name == "amazon_google") {
+    config.perturbation = 0.45;
+  } else {
+    return Status::NotFound("unknown ER dataset '" + name + "'");
+  }
+  return GenerateErDataset(config);
+}
+
+}  // namespace leva

@@ -1,0 +1,50 @@
+#ifndef LEVA_DATAGEN_ER_DATA_H_
+#define LEVA_DATAGEN_ER_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace leva {
+
+/// A labeled entity-resolution task over two dirty tables describing
+/// overlapping entities (the Section 6.7 benchmark). The paper's
+/// BeerAdvo-RateBeer / Walmart-Amazon / Amazon-Google datasets are not
+/// available, so the generator controls matching difficulty through a field
+/// perturbation rate (token drops, typos, reformatting, price jitter).
+struct ErPair {
+  size_t row_a = 0;
+  size_t row_b = 0;
+  bool match = false;
+};
+
+struct ErDataset {
+  std::string name;
+  Table table_a;
+  Table table_b;
+  std::vector<ErPair> pairs;  // labeled candidate pairs
+};
+
+struct ErConfig {
+  std::string name = "er";
+  size_t entities = 400;
+  /// Per-field probability of perturbation in table B.
+  double perturbation = 0.2;
+  /// Non-matching candidates per matching one.
+  size_t negatives_per_match = 2;
+  uint64_t seed = 7;
+};
+
+Result<ErDataset> GenerateErDataset(const ErConfig& config);
+
+/// The three Table 8 configurations, ordered easy -> hard like the originals:
+/// "beeradvo_ratebeer" (light noise), "walmart_amazon" (moderate),
+/// "amazon_google" (heavy).
+Result<ErDataset> ErDatasetByName(const std::string& name, uint64_t seed = 7);
+
+}  // namespace leva
+
+#endif  // LEVA_DATAGEN_ER_DATA_H_

@@ -1,0 +1,409 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace leva {
+namespace {
+
+// Standardizes v to zero mean / unit variance in place (no-op when constant).
+void Standardize(std::vector<double>* v) {
+  if (v->empty()) return;
+  double mean = 0;
+  for (double x : *v) mean += x;
+  mean /= static_cast<double>(v->size());
+  double var = 0;
+  for (double x : *v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v->size());
+  const double stddev = std::sqrt(var);
+  if (stddev < 1e-12) return;
+  for (double& x : *v) x = (x - mean) / stddev;
+}
+
+Column MakeStringColumn(std::string name, std::vector<std::string> values) {
+  Column col;
+  col.name = std::move(name);
+  col.type = DataType::kString;
+  col.values.reserve(values.size());
+  for (std::string& s : values) col.values.push_back(Value(std::move(s)));
+  return col;
+}
+
+Column MakeDoubleColumn(std::string name, const std::vector<double>& values) {
+  Column col;
+  col.name = std::move(name);
+  col.type = DataType::kDouble;
+  col.values.reserve(values.size());
+  for (const double v : values) col.values.push_back(Value(v));
+  return col;
+}
+
+// Injects missing data into every column of `table` except keys and
+// `skip_column`: half true nulls, half the literal string "?" (including in
+// numeric columns — the classic dirty-CSV representation the voting
+// refinement of Section 3.2 must remove).
+void InjectMissing(Table* table, double rate, const std::string& skip_column,
+                   Rng* rng) {
+  if (rate <= 0) return;
+  for (size_t c = 0; c < table->NumColumns(); ++c) {
+    Column& col = table->mutable_column(c);
+    if (col.name.ends_with("_id") || col.name == skip_column) continue;
+    for (Value& v : col.values) {
+      if (!rng->Bernoulli(rate)) continue;
+      v = rng->Bernoulli(0.5) ? Value("?") : Value::Null();
+    }
+  }
+}
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config) {
+  if (config.base_rows == 0) {
+    return Status::InvalidArgument("base_rows must be positive");
+  }
+  Rng rng(config.seed);
+  SyntheticDataset out;
+  out.base_table = "base";
+  out.target_column = "target";
+  out.classification = config.classification;
+  out.num_classes = config.classification ? config.num_classes : 2;
+
+  // --- Dimension tables. ---
+  struct DimState {
+    const DimTableSpec* spec;
+    std::vector<std::string> keys;
+    std::vector<double> latent;  // effective latent score per row
+  };
+  std::vector<DimState> dims;
+  dims.reserve(config.dims.size());
+
+  for (const DimTableSpec& spec : config.dims) {
+    if (spec.rows == 0) {
+      return Status::InvalidArgument("dimension table '" + spec.name +
+                                     "' has zero rows");
+    }
+    DimState state;
+    state.spec = &spec;
+    state.latent.assign(spec.rows, 0.0);
+    Table table(spec.name);
+
+    state.keys.reserve(spec.rows);
+    for (size_t r = 0; r < spec.rows; ++r) {
+      state.keys.push_back(spec.name + "_" + std::to_string(r));
+    }
+    LEVA_RETURN_IF_ERROR(
+        table.AddColumn(MakeStringColumn(spec.name + "_id", state.keys)));
+
+    for (size_t j = 0; j < spec.predictive_numeric; ++j) {
+      const double weight = rng.Uniform(0.6, 1.4);
+      std::vector<double> vals(spec.rows);
+      for (size_t r = 0; r < spec.rows; ++r) {
+        vals[r] = rng.Normal();
+        state.latent[r] += weight * vals[r];
+      }
+      LEVA_RETURN_IF_ERROR(table.AddColumn(
+          MakeDoubleColumn(spec.name + "_pnum" + std::to_string(j), vals)));
+    }
+    for (size_t j = 0; j < spec.predictive_categorical; ++j) {
+      std::vector<double> effect(spec.categories);
+      for (double& e : effect) e = rng.Normal();
+      std::vector<std::string> vals(spec.rows);
+      for (size_t r = 0; r < spec.rows; ++r) {
+        const size_t k = rng.UniformInt(spec.categories);
+        vals[r] = spec.name + "_pcat" + std::to_string(j) + "_" +
+                  std::to_string(k);
+        state.latent[r] += effect[k];
+      }
+      LEVA_RETURN_IF_ERROR(table.AddColumn(MakeStringColumn(
+          spec.name + "_pcat" + std::to_string(j), std::move(vals))));
+    }
+    for (size_t j = 0; j < spec.noise_numeric; ++j) {
+      std::vector<double> vals(spec.rows);
+      for (double& v : vals) v = rng.Normal();
+      LEVA_RETURN_IF_ERROR(table.AddColumn(
+          MakeDoubleColumn(spec.name + "_nnum" + std::to_string(j), vals)));
+    }
+    for (size_t j = 0; j < spec.noise_categorical; ++j) {
+      std::vector<std::string> vals(spec.rows);
+      for (std::string& v : vals) {
+        v = spec.name + "_ncat" + std::to_string(j) + "_" +
+            std::to_string(rng.UniformInt(spec.categories));
+      }
+      LEVA_RETURN_IF_ERROR(table.AddColumn(MakeStringColumn(
+          spec.name + "_ncat" + std::to_string(j), std::move(vals))));
+    }
+    LEVA_RETURN_IF_ERROR(out.db.AddTable(std::move(table)));
+    dims.push_back(std::move(state));
+  }
+
+  // --- Chained dimensions: add FK columns into parents and propagate their
+  // latent scores up. Children must be declared after their parents, so a
+  // reverse pass handles arbitrary depth. ---
+  auto find_dim = [&](const std::string& name) -> DimState* {
+    for (DimState& d : dims) {
+      if (d.spec->name == name) return &d;
+    }
+    return nullptr;
+  };
+  for (size_t i = dims.size(); i-- > 0;) {
+    DimState& child = dims[i];
+    if (child.spec->parent.empty()) continue;
+    DimState* parent = find_dim(child.spec->parent);
+    if (parent == nullptr) {
+      return Status::NotFound("parent table '" + child.spec->parent +
+                              "' not declared before '" + child.spec->name +
+                              "'");
+    }
+    const size_t parent_idx =
+        out.db.TableIndex(parent->spec->name).ValueOr(0);
+    Table& parent_table = out.db.mutable_tables()[parent_idx];
+    std::vector<std::string> fk(parent_table.NumRows());
+    for (size_t r = 0; r < fk.size(); ++r) {
+      const size_t ref = rng.UniformInt(child.keys.size());
+      fk[r] = child.keys[ref];
+      parent->latent[r] += 0.8 * child.latent[ref];
+    }
+    LEVA_RETURN_IF_ERROR(parent_table.AddColumn(
+        MakeStringColumn("fk_" + child.spec->name, std::move(fk))));
+    out.db.AddForeignKey({parent->spec->name, "fk_" + child.spec->name,
+                          child.spec->name, child.spec->name + "_id"});
+  }
+  for (DimState& d : dims) Standardize(&d.latent);
+
+  // --- Base table. ---
+  Table base("base");
+  {
+    std::vector<std::string> ids(config.base_rows);
+    for (size_t r = 0; r < config.base_rows; ++r) {
+      ids[r] = "row_" + std::to_string(r);
+    }
+    LEVA_RETURN_IF_ERROR(base.AddColumn(MakeStringColumn("base_id", ids)));
+  }
+
+  out.latent_score.assign(config.base_rows, 0.0);
+  size_t base_joined_dims = 0;
+  for (DimState& d : dims) {
+    if (!d.spec->parent.empty()) continue;
+    ++base_joined_dims;
+    std::vector<std::string> fk(config.base_rows);
+    for (size_t r = 0; r < config.base_rows; ++r) {
+      const size_t ref = rng.UniformInt(d.keys.size());
+      fk[r] = d.keys[ref];
+      out.latent_score[r] += d.latent[ref];
+    }
+    LEVA_RETURN_IF_ERROR(base.AddColumn(
+        MakeStringColumn("fk_" + d.spec->name, std::move(fk))));
+    out.db.AddForeignKey(
+        {"base", "fk_" + d.spec->name, d.spec->name, d.spec->name + "_id"});
+  }
+  if (base_joined_dims > 0) {
+    for (double& s : out.latent_score) {
+      s /= std::sqrt(static_cast<double>(base_joined_dims));
+    }
+  }
+
+  // Weak in-base signal so the Base baseline beats chance.
+  {
+    std::vector<double> signal(config.base_rows);
+    for (size_t r = 0; r < config.base_rows; ++r) {
+      signal[r] = config.base_signal_weight * out.latent_score[r] +
+                  (1.0 - config.base_signal_weight) * rng.Normal();
+    }
+    LEVA_RETURN_IF_ERROR(
+        base.AddColumn(MakeDoubleColumn("base_signal", signal)));
+  }
+  for (size_t j = 0; j < config.base_noise_numeric; ++j) {
+    std::vector<double> vals(config.base_rows);
+    for (double& v : vals) v = rng.Normal();
+    LEVA_RETURN_IF_ERROR(base.AddColumn(
+        MakeDoubleColumn("base_nnum" + std::to_string(j), vals)));
+  }
+  for (size_t j = 0; j < config.base_noise_categorical; ++j) {
+    std::vector<std::string> vals(config.base_rows);
+    for (std::string& v : vals) {
+      v = "base_ncat" + std::to_string(j) + "_" +
+          std::to_string(rng.UniformInt(8));
+    }
+    LEVA_RETURN_IF_ERROR(base.AddColumn(MakeStringColumn(
+        "base_ncat" + std::to_string(j), std::move(vals))));
+  }
+
+  // Target from the noisy latent score.
+  {
+    std::vector<double> score(config.base_rows);
+    for (size_t r = 0; r < config.base_rows; ++r) {
+      score[r] = out.latent_score[r] + config.label_noise * rng.Normal();
+    }
+    if (config.classification) {
+      // Balanced classes via quantile thresholds.
+      std::vector<double> sorted = score;
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<double> cuts;
+      for (size_t k = 1; k < config.num_classes; ++k) {
+        cuts.push_back(
+            sorted[k * sorted.size() / config.num_classes]);
+      }
+      std::vector<std::string> labels(config.base_rows);
+      for (size_t r = 0; r < config.base_rows; ++r) {
+        size_t cls = 0;
+        while (cls < cuts.size() && score[r] > cuts[cls]) ++cls;
+        labels[r] = "class_" + std::to_string(cls);
+      }
+      LEVA_RETURN_IF_ERROR(
+          base.AddColumn(MakeStringColumn("target", std::move(labels))));
+    } else {
+      for (double& s : score) s = 50.0 + 10.0 * s;
+      LEVA_RETURN_IF_ERROR(base.AddColumn(MakeDoubleColumn("target", score)));
+    }
+  }
+  LEVA_RETURN_IF_ERROR(out.db.AddTable(std::move(base)));
+
+  // --- Missing-data injection across all tables; the target column stays
+  // clean. ---
+  if (config.missing_rate > 0) {
+    for (Table& t : out.db.mutable_tables()) {
+      InjectMissing(&t, config.missing_rate, "target", &rng);
+    }
+  }
+  return out;
+}
+
+Result<SyntheticDataset> GenerateStudent(size_t num_students,
+                                         size_t noise_attributes,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  SyntheticDataset out;
+  out.base_table = "expenses";
+  out.target_column = "total_expenses";
+  out.classification = false;
+
+  const size_t num_items = 50;
+  std::vector<double> prices(num_items);
+  for (double& p : prices) p = rng.Uniform(1.0, 100.0);
+
+  // Price Info.
+  Table price_info("price_info");
+  {
+    std::vector<std::string> items(num_items);
+    for (size_t j = 0; j < num_items; ++j) {
+      items[j] = "item_" + std::to_string(j);
+    }
+    LEVA_RETURN_IF_ERROR(price_info.AddColumn(MakeStringColumn("item", items)));
+    LEVA_RETURN_IF_ERROR(price_info.AddColumn(MakeDoubleColumn("prices", prices)));
+  }
+
+  // Order Info: each student places 2 orders.
+  Table order_info("order_info");
+  std::vector<std::string> order_names;
+  std::vector<std::string> order_items;
+  std::vector<double> totals(num_students, 0.0);
+  for (size_t s = 0; s < num_students; ++s) {
+    for (int o = 0; o < 2; ++o) {
+      const size_t item = rng.UniformInt(num_items);
+      order_names.push_back("student_" + std::to_string(s));
+      order_items.push_back("item_" + std::to_string(item));
+      totals[s] += prices[item];
+    }
+  }
+  LEVA_RETURN_IF_ERROR(
+      order_info.AddColumn(MakeStringColumn("name", order_names)));
+  LEVA_RETURN_IF_ERROR(
+      order_info.AddColumn(MakeStringColumn("item", order_items)));
+
+  // Expenses (Base Table). Gender and school are uncorrelated with the
+  // target, as in Section 2.1.
+  Table expenses("expenses");
+  {
+    std::vector<std::string> names(num_students);
+    std::vector<std::string> gender(num_students);
+    std::vector<std::string> school(num_students);
+    for (size_t s = 0; s < num_students; ++s) {
+      names[s] = "student_" + std::to_string(s);
+      gender[s] = rng.Bernoulli(0.5) ? "M" : "F";
+      school[s] = "school_" + std::to_string(rng.UniformInt(10));
+    }
+    LEVA_RETURN_IF_ERROR(expenses.AddColumn(MakeStringColumn("name", names)));
+    LEVA_RETURN_IF_ERROR(expenses.AddColumn(MakeStringColumn("gender", gender)));
+    LEVA_RETURN_IF_ERROR(
+        expenses.AddColumn(MakeStringColumn("school_name", school)));
+    LEVA_RETURN_IF_ERROR(
+        expenses.AddColumn(MakeDoubleColumn("total_expenses", totals)));
+  }
+  out.latent_score = totals;
+
+  // White-noise attribute injection (Section 5.2).
+  auto add_noise = [&](Table* t, const std::string& prefix) -> Status {
+    for (size_t j = 0; j < noise_attributes; ++j) {
+      std::vector<double> vals(t->NumRows());
+      for (double& v : vals) v = rng.Normal();
+      LEVA_RETURN_IF_ERROR(t->AddColumn(MakeDoubleColumn(
+          prefix + "_noise" + std::to_string(j), vals)));
+    }
+    return Status::OK();
+  };
+  LEVA_RETURN_IF_ERROR(add_noise(&expenses, "exp"));
+  LEVA_RETURN_IF_ERROR(add_noise(&order_info, "ord"));
+  LEVA_RETURN_IF_ERROR(add_noise(&price_info, "pri"));
+
+  LEVA_RETURN_IF_ERROR(out.db.AddTable(std::move(expenses)));
+  LEVA_RETURN_IF_ERROR(out.db.AddTable(std::move(order_info)));
+  LEVA_RETURN_IF_ERROR(out.db.AddTable(std::move(price_info)));
+  out.db.AddForeignKey({"order_info", "name", "expenses", "name"});
+  out.db.AddForeignKey({"order_info", "item", "price_info", "item"});
+  return out;
+}
+
+Result<Database> ReplicateDatabase(const Database& db, size_t k) {
+  if (k == 0) return Status::InvalidArgument("replication factor must be >= 1");
+  Database out;
+  for (const Table& t : db.tables()) {
+    Table copy(t.name());
+    // Column ranges for numeric shifting.
+    std::vector<double> range(t.NumColumns(), 1.0);
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      double mn = 0;
+      double mx = 0;
+      bool any = false;
+      for (const Value& v : t.column(c).values) {
+        if (!v.is_numeric()) continue;
+        const double d = v.ToNumeric();
+        if (!any) {
+          mn = mx = d;
+          any = true;
+        } else {
+          mn = std::min(mn, d);
+          mx = std::max(mx, d);
+        }
+      }
+      range[c] = any ? (mx - mn + 1.0) : 1.0;
+    }
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      Column col;
+      col.name = t.column(c).name;
+      col.type = t.column(c).type;
+      col.values.reserve(t.NumRows() * k);
+      for (size_t version = 1; version <= k; ++version) {
+        const std::string suffix = "_v" + std::to_string(version);
+        for (const Value& v : t.column(c).values) {
+          if (v.is_null()) {
+            col.values.push_back(Value::Null());
+          } else if (v.is_numeric()) {
+            col.values.push_back(Value(
+                v.ToNumeric() + static_cast<double>(version - 1) * range[c]));
+          } else {
+            col.values.push_back(Value(v.as_string() + suffix));
+          }
+        }
+      }
+      LEVA_RETURN_IF_ERROR(copy.AddColumn(std::move(col)));
+    }
+    LEVA_RETURN_IF_ERROR(out.AddTable(std::move(copy)));
+  }
+  for (const ForeignKey& fk : db.foreign_keys()) out.AddForeignKey(fk);
+  return out;
+}
+
+}  // namespace leva

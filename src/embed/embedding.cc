@@ -1,0 +1,96 @@
+#include "embed/embedding.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace leva {
+
+Status Embedding::Put(const std::string& key, std::span<const double> vec) {
+  if (vec.size() != dim_) {
+    return Status::InvalidArgument("vector for '" + key + "' has dim " +
+                                   std::to_string(vec.size()) + ", expected " +
+                                   std::to_string(dim_));
+  }
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    std::copy(vec.begin(), vec.end(), data_.begin() + static_cast<ptrdiff_t>(it->second * dim_));
+    return Status::OK();
+  }
+  index_.emplace(key, keys_.size());
+  keys_.push_back(key);
+  data_.insert(data_.end(), vec.begin(), vec.end());
+  return Status::OK();
+}
+
+std::span<const double> Embedding::Get(const std::string& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return {};
+  return {data_.data() + it->second * dim_, dim_};
+}
+
+Status Embedding::MapVectors(
+    size_t new_dim, const std::function<void(std::span<const double>,
+                                             std::span<double>)>& project) {
+  std::vector<double> new_data(keys_.size() * new_dim, 0.0);
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    project({data_.data() + i * dim_, dim_},
+            {new_data.data() + i * new_dim, new_dim});
+  }
+  dim_ = new_dim;
+  data_ = std::move(new_data);
+  return Status::OK();
+}
+
+std::string Embedding::ToText() const {
+  std::ostringstream out;
+  out << keys_.size() << ' ' << dim_ << '\n';
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    out << keys_[i];
+    for (size_t j = 0; j < dim_; ++j) out << ' ' << data_[i * dim_ + j];
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<Embedding> Embedding::FromText(const std::string& text) {
+  std::istringstream in(text);
+  size_t count = 0;
+  size_t dim = 0;
+  if (!(in >> count >> dim)) {
+    return Status::InvalidArgument("bad embedding header");
+  }
+  Embedding e(dim);
+  std::vector<double> vec(dim);
+  for (size_t i = 0; i < count; ++i) {
+    std::string key;
+    if (!(in >> key)) return Status::InvalidArgument("truncated embedding");
+    for (size_t j = 0; j < dim; ++j) {
+      if (!(in >> vec[j])) return Status::InvalidArgument("truncated vector");
+    }
+    LEVA_RETURN_IF_ERROR(e.Put(key, vec));
+  }
+  return e;
+}
+
+double Embedding::L1Distance(std::span<const double> a,
+                             std::span<const double> b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double Embedding::CosineSimilarity(std::span<const double> a,
+                                   std::span<const double> b) {
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0 || nb <= 0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace leva

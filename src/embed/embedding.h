@@ -1,0 +1,62 @@
+#ifndef LEVA_EMBED_EMBEDDING_H_
+#define LEVA_EMBED_EMBEDDING_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace leva {
+
+/// A token -> dense-vector store: the output of Leva's embedding construction
+/// (the mapping E of Section 2.4). Keys are node labels: "<table>:<row>" for
+/// row nodes, the token text for value nodes.
+class Embedding {
+ public:
+  Embedding() = default;
+  explicit Embedding(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return keys_.size(); }
+
+  /// Adds (or overwrites) the vector for `key`. `vec` must have length dim().
+  Status Put(const std::string& key, std::span<const double> vec);
+
+  bool Has(const std::string& key) const { return index_.count(key) > 0; }
+
+  /// Vector for `key`; empty span when missing.
+  std::span<const double> Get(const std::string& key) const;
+
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Raw storage (size() x dim(), row-major), aligned with keys().
+  const std::vector<double>& data() const { return data_; }
+
+  /// Replaces every vector by its projection through `project`, changing the
+  /// dimensionality (used by the PCA study of Table 7).
+  Status MapVectors(size_t new_dim,
+                    const std::function<void(std::span<const double>,
+                                             std::span<double>)>& project);
+
+  /// Serializes as "key dim v1 ... vd" lines.
+  std::string ToText() const;
+  static Result<Embedding> FromText(const std::string& text);
+
+  /// L1 distance between two vectors of equal length.
+  static double L1Distance(std::span<const double> a, std::span<const double> b);
+  static double CosineSimilarity(std::span<const double> a,
+                                 std::span<const double> b);
+
+ private:
+  size_t dim_ = 0;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::string> keys_;
+  std::vector<double> data_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_EMBED_EMBEDDING_H_

@@ -1,0 +1,100 @@
+#include "embed/line.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/alias.h"
+
+namespace leva {
+namespace {
+
+double Sigmoid(double x) {
+  if (x > 10) return 1.0;
+  if (x < -10) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+Result<Matrix> LineEmbed(const LevaGraph& graph, const LineOptions& options,
+                         Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
+  const size_t n = graph.NumNodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  // Directed edge list (both directions of every undirected edge) with an
+  // alias table over edge weights, and a distorted-degree negative sampler.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<double> edge_weights;
+  std::vector<double> degree(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph.Neighbors(u);
+    const auto weights = graph.Weights(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      edges.emplace_back(u, nbrs[k]);
+      edge_weights.push_back(weights[k]);
+      degree[u] += weights[k];
+    }
+  }
+  if (edges.empty()) {
+    // Degenerate but valid: all nodes isolated. Return small random vectors.
+    Matrix e(n, options.dim);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < options.dim; ++j) {
+        e(i, j) = (rng->Uniform() - 0.5) / static_cast<double>(options.dim);
+      }
+    }
+    return e;
+  }
+  const AliasTable edge_sampler(edge_weights);
+  std::vector<double> noise(n);
+  for (size_t i = 0; i < n; ++i) {
+    noise[i] = std::pow(degree[i], options.unigram_power);
+  }
+  const AliasTable negative_sampler(noise);
+
+  const size_t dim = options.dim;
+  Matrix node(n, dim);
+  Matrix context(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      node(i, j) = (rng->Uniform() - 0.5) / static_cast<double>(dim);
+    }
+  }
+
+  const size_t total = options.samples_per_edge * edges.size();
+  std::vector<double> grad(dim);
+  for (size_t step = 0; step < total; ++step) {
+    const double lr =
+        options.learning_rate *
+        std::max(1e-4, 1.0 - static_cast<double>(step) /
+                                 static_cast<double>(total));
+    const auto [u, v] = edges[edge_sampler.Sample(rng)];
+    double* uvec = node.RowPtr(u);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t k = 0; k <= options.negative; ++k) {
+      NodeId target;
+      double label;
+      if (k == 0) {
+        target = v;
+        label = 1.0;
+      } else {
+        target = negative_sampler.Sample(rng);
+        if (target == v) continue;
+        label = 0.0;
+      }
+      double* tvec = context.RowPtr(target);
+      double dot = 0;
+      for (size_t j = 0; j < dim; ++j) dot += uvec[j] * tvec[j];
+      const double g = (label - Sigmoid(dot)) * lr;
+      for (size_t j = 0; j < dim; ++j) {
+        grad[j] += g * tvec[j];
+        tvec[j] += g * uvec[j];
+      }
+    }
+    for (size_t j = 0; j < dim; ++j) uvec[j] += grad[j];
+  }
+  return node;
+}
+
+}  // namespace leva

@@ -1,0 +1,31 @@
+#ifndef LEVA_EMBED_LINE_H_
+#define LEVA_EMBED_LINE_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "la/matrix.h"
+
+namespace leva {
+
+/// LINE-style second-order embedding (Tang et al., WWW 2015): edge sampling
+/// with negative sampling, optimizing sigma(u . v') per observed edge. A
+/// third plug-in for Leva's embedding-construction stage (Section 4.2 calls
+/// the stage "plug'n'play"): cheaper than full random walks, captures
+/// first/second-order proximity without materializing a proximity matrix.
+struct LineOptions {
+  size_t dim = 100;
+  size_t negative = 5;
+  /// Total edge samples = samples_per_edge * (2 * graph edges).
+  size_t samples_per_edge = 20;
+  double learning_rate = 0.025;
+  double unigram_power = 0.75;
+};
+
+/// Returns an N x dim node-embedding matrix aligned with graph node ids.
+Result<Matrix> LineEmbed(const LevaGraph& graph, const LineOptions& options,
+                         Rng* rng);
+
+}  // namespace leva
+
+#endif  // LEVA_EMBED_LINE_H_

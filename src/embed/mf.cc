@@ -1,0 +1,229 @@
+#include "embed/mf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/decomp.h"
+
+namespace leva {
+
+SparseMatrix BuildProximityMatrix(const LevaGraph& graph, double tau,
+                                  size_t window, size_t max_row_entries) {
+  const size_t n = graph.NumNodes();
+  if (window == 0) window = 1;
+  // Weighted degrees and total weight.
+  std::vector<double> degree(n, 0.0);
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (const float w : graph.Weights(i)) {
+      degree[i] += w;
+      total += w;
+    }
+  }
+
+  // Row i of the window-averaged transition matrix W = (P + .. + P^T)/T,
+  // computed with a sparse accumulator and per-row top-k pruning so the
+  // higher powers cannot densify.
+  std::vector<double> acc(n, 0.0);       // persistent accumulator, reset lazily
+  std::vector<NodeId> touched;
+  std::vector<double> frontier_val;      // current P^t row (sparse)
+  std::vector<NodeId> frontier_idx;
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * graph.NumEdges());
+  for (NodeId i = 0; i < n; ++i) {
+    if (degree[i] <= 0) continue;
+    // t = 1 frontier.
+    frontier_idx.clear();
+    frontier_val.clear();
+    const auto nbrs = graph.Neighbors(i);
+    const auto weights = graph.Weights(i);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      frontier_idx.push_back(nbrs[k]);
+      frontier_val.push_back(weights[k] / degree[i]);
+    }
+    touched.clear();
+    for (size_t k = 0; k < frontier_idx.size(); ++k) {
+      if (acc[frontier_idx[k]] == 0.0) touched.push_back(frontier_idx[k]);
+      acc[frontier_idx[k]] += frontier_val[k];
+    }
+    // Higher steps.
+    std::vector<NodeId> next_idx;
+    std::vector<double> next_val;
+    for (size_t t = 2; t <= window; ++t) {
+      next_idx.clear();
+      next_val.clear();
+      // One step of the transition from the current frontier, using a local
+      // sparse accumulator keyed off `acc` sign-free trick: accumulate into a
+      // scratch map replaced by (index, value) merging after sort.
+      static thread_local std::vector<double> step_acc;
+      static thread_local std::vector<NodeId> step_touched;
+      step_acc.resize(n, 0.0);
+      step_touched.clear();
+      for (size_t k = 0; k < frontier_idx.size(); ++k) {
+        const NodeId u = frontier_idx[k];
+        if (degree[u] <= 0) continue;
+        const double scale = frontier_val[k] / degree[u];
+        const auto unbrs = graph.Neighbors(u);
+        const auto uweights = graph.Weights(u);
+        for (size_t m = 0; m < unbrs.size(); ++m) {
+          const NodeId v = unbrs[m];
+          if (step_acc[v] == 0.0) step_touched.push_back(v);
+          step_acc[v] += scale * uweights[m];
+        }
+      }
+      // Prune the frontier to the largest entries.
+      if (step_touched.size() > max_row_entries) {
+        std::nth_element(step_touched.begin(),
+                         step_touched.begin() + static_cast<ptrdiff_t>(max_row_entries),
+                         step_touched.end(), [&](NodeId a, NodeId b) {
+                           return step_acc[a] > step_acc[b];
+                         });
+        for (size_t k = max_row_entries; k < step_touched.size(); ++k) {
+          step_acc[step_touched[k]] = 0.0;
+        }
+        step_touched.resize(max_row_entries);
+      }
+      for (const NodeId v : step_touched) {
+        next_idx.push_back(v);
+        next_val.push_back(step_acc[v]);
+        if (acc[v] == 0.0) touched.push_back(v);
+        acc[v] += step_acc[v];
+        step_acc[v] = 0.0;
+      }
+      frontier_idx = next_idx;
+      frontier_val = next_val;
+    }
+
+    // Emit the shifted-PMI entries for this row and reset the accumulator.
+    const double inv_window = 1.0 / static_cast<double>(window);
+    for (const NodeId j : touched) {
+      const double wij = acc[j] * inv_window;
+      acc[j] = 0.0;
+      if (wij <= 0 || degree[j] <= 0) continue;
+      const double pdj = degree[j] / total;
+      const double m = std::log(wij) - std::log(tau * pdj);
+      if (m > 0) triplets.push_back({i, j, m});
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+SparseMatrix NormalizedAdjacency(const LevaGraph& graph) {
+  const size_t n = graph.NumNodes();
+  std::vector<double> degree(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (const float w : graph.Weights(i)) degree[i] += w;
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * graph.NumEdges());
+  for (NodeId i = 0; i < n; ++i) {
+    const auto nbrs = graph.Neighbors(i);
+    const auto weights = graph.Weights(i);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId j = nbrs[k];
+      if (degree[i] <= 0 || degree[j] <= 0) continue;
+      triplets.push_back(
+          {i, j, weights[k] / std::sqrt(degree[i] * degree[j])});
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+Result<Matrix> SpectralPropagate(const LevaGraph& graph,
+                                 const Matrix& embedding, size_t order,
+                                 double mu, double theta) {
+  if (embedding.rows() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "embedding row count does not match graph node count");
+  }
+  if (order < 2) return embedding;
+
+  // Rescaled Laplacian: with lambda_max ~= 2 for a normalized Laplacian,
+  // Ltilde = L - I = -Anorm, whose spectrum lies in [-1, 1].
+  const SparseMatrix anorm = NormalizedAdjacency(graph);
+
+  // Chebyshev coefficients of the ProNE band-pass kernel
+  //   g(lambda) = exp(-theta/2 * ((lambda - mu)^2 - 1))
+  // via Gauss-Chebyshev quadrature.
+  const size_t quad = std::max<size_t>(order + 1, 16);
+  std::vector<double> coeff(order, 0.0);
+  for (size_t k = 0; k < order; ++k) {
+    double sum = 0;
+    for (size_t j = 0; j < quad; ++j) {
+      const double angle = M_PI * (static_cast<double>(j) + 0.5) /
+                           static_cast<double>(quad);
+      const double x = std::cos(angle);
+      const double g = std::exp(-0.5 * theta * ((x - mu) * (x - mu) - 1.0));
+      sum += g * std::cos(static_cast<double>(k) * angle);
+    }
+    coeff[k] = (k == 0 ? 1.0 : 2.0) * sum / static_cast<double>(quad);
+  }
+
+  // Chebyshev recurrence on Ltilde = -Anorm.
+  Matrix t_prev = embedding;                      // T0 E
+  Matrix t_cur = anorm.Multiply(embedding);       // Anorm E
+  t_cur.Scale(-1.0);                              // T1 E = Ltilde E
+  Matrix filtered = t_prev;
+  filtered.Scale(coeff[0]);
+  filtered.AddScaled(t_cur, coeff[1]);
+  for (size_t k = 2; k < order; ++k) {
+    Matrix t_next = anorm.Multiply(t_cur);
+    t_next.Scale(-2.0);
+    t_next.AddScaled(t_prev, -1.0);               // 2 Ltilde T_k - T_{k-1}
+    filtered.AddScaled(t_next, coeff[k]);
+    t_prev = std::move(t_cur);
+    t_cur = std::move(t_next);
+  }
+
+  // Final smoothing through the normalized adjacency, as in ProNE's
+  // propagation step.
+  return anorm.Multiply(filtered);
+}
+
+Result<Matrix> MatrixFactorizationEmbed(const LevaGraph& graph,
+                                        const MfOptions& options, Rng* rng) {
+  if (graph.NumNodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  const SparseMatrix m = BuildProximityMatrix(
+      graph, options.tau, options.window, options.max_row_entries);
+  RandomizedSvdOptions svd_options;
+  svd_options.rank = options.dim;
+  svd_options.oversample = options.oversample;
+  svd_options.power_iterations = options.power_iterations;
+  LEVA_ASSIGN_OR_RETURN(SvdResult svd, RandomizedSVD(m, svd_options, rng));
+
+  const size_t rank = svd.singular_values.size();
+  Matrix e(graph.NumNodes(), rank);
+  for (size_t i = 0; i < e.rows(); ++i) {
+    for (size_t j = 0; j < rank; ++j) {
+      e(i, j) = svd.u(i, j) * std::sqrt(std::max(0.0, svd.singular_values[j]));
+    }
+  }
+  if (options.spectral_propagation) {
+    return SpectralPropagate(graph, e, options.chebyshev_order, options.mu,
+                             options.theta);
+  }
+  return e;
+}
+
+size_t EstimateMfMemoryBytes(size_t nodes, size_t edges, size_t dim) {
+  // Proximity matrix (CSR: 2E entries) + sketch/Q/B working set + embedding.
+  const size_t nnz = 2 * edges;
+  const size_t k = dim + 10;
+  return nnz * (sizeof(double) + sizeof(uint32_t)) +
+         4 * nodes * k * sizeof(double);
+}
+
+size_t EstimateRwMemoryBytes(size_t nodes, size_t edges, size_t walk_length,
+                             size_t epochs, bool weighted) {
+  // Corpus (epochs walks per node, `walk_length` ids each) + alias tables.
+  size_t bytes = nodes * epochs * walk_length * sizeof(NodeId);
+  if (weighted) {
+    bytes += 2 * edges * (sizeof(double) + sizeof(uint32_t));
+  }
+  return bytes;
+}
+
+}  // namespace leva

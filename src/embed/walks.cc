@@ -1,0 +1,137 @@
+#include "embed/walks.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace leva {
+namespace {
+
+// True when `x` is a neighbor of `node` (neighbor lists are sorted).
+bool IsNeighbor(const LevaGraph& g, NodeId node, NodeId x) {
+  const auto nbrs = g.Neighbors(node);
+  return std::binary_search(nbrs.begin(), nbrs.end(), x);
+}
+
+}  // namespace
+
+WalkGenerator::WalkGenerator(const LevaGraph* graph, WalkOptions options)
+    : graph_(graph), options_(options) {
+  if (options_.weighted) {
+    const size_t n = graph_->NumNodes();
+    alias_.resize(n);
+    std::vector<double> w;
+    for (NodeId i = 0; i < n; ++i) {
+      const auto weights = graph_->Weights(i);
+      w.assign(weights.begin(), weights.end());
+      alias_[i] = AliasTable(w);
+    }
+  }
+}
+
+size_t WalkGenerator::AliasMemoryBytes() const {
+  size_t bytes = 0;
+  for (const AliasTable& t : alias_) bytes += t.MemoryBytes();
+  return bytes;
+}
+
+NodeId WalkGenerator::Step(NodeId current, NodeId previous, Rng* rng) const {
+  const auto nbrs = graph_->Neighbors(current);
+  if (nbrs.empty()) return kInvalidNode;
+
+  const bool biased = options_.p != 1.0 || options_.q != 1.0;
+  if (!biased || previous == kInvalidNode) {
+    if (options_.weighted) {
+      if (alias_[current].empty()) return kInvalidNode;
+      return nbrs[alias_[current].Sample(rng)];
+    }
+    return nbrs[rng->UniformInt(nbrs.size())];
+  }
+
+  // Node2vec second-order transition: O(deg) per step. The graphs Leva
+  // builds are sparse, so no per-edge alias tables are kept.
+  const auto weights = graph_->Weights(current);
+  double total = 0;
+  thread_local std::vector<double> probs;
+  probs.resize(nbrs.size());
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    double bias;
+    if (nbrs[i] == previous) {
+      bias = 1.0 / options_.p;
+    } else if (IsNeighbor(*graph_, previous, nbrs[i])) {
+      bias = 1.0;
+    } else {
+      bias = 1.0 / options_.q;
+    }
+    probs[i] = bias * (options_.weighted ? weights[i] : 1.0);
+    total += probs[i];
+  }
+  double r = rng->Uniform() * total;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    r -= probs[i];
+    if (r <= 0) return nbrs[i];
+  }
+  return nbrs.back();
+}
+
+void WalkGenerator::Walk(NodeId start, Rng* rng, std::vector<NodeId>* out) {
+  out->clear();
+  NodeId prev = kInvalidNode;
+  NodeId cur = start;
+  for (size_t step = 0; step < options_.walk_length; ++step) {
+    const bool limited = options_.visit_limit > 0 &&
+                         visits_[cur] >= options_.visit_limit;
+    if (!limited) {
+      out->push_back(cur);
+      ++visits_[cur];
+    }
+    const NodeId next = Step(cur, prev, rng);
+    if (next == kInvalidNode) break;
+    prev = cur;
+    cur = next;
+  }
+}
+
+Result<WalkCorpus> WalkGenerator::Generate(Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
+  const size_t n = graph_->NumNodes();
+  visits_.assign(n, 0);
+  WalkCorpus corpus;
+
+  size_t normal_epochs = options_.epochs;
+  size_t restart_epochs = 0;
+  if (options_.balanced_restarts) {
+    restart_epochs = std::min(options_.restart_epochs, options_.epochs);
+    normal_epochs = options_.epochs - restart_epochs;
+  }
+  corpus.reserve(options_.epochs * n);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<NodeId> walk;
+  for (size_t e = 0; e < normal_epochs; ++e) {
+    rng->Shuffle(&order);
+    for (const NodeId start : order) {
+      Walk(start, rng, &walk);
+      if (!walk.empty()) corpus.push_back(walk);
+    }
+  }
+
+  if (restart_epochs > 0) {
+    // Worst-represented quartile by visit count so far; restarting from these
+    // nodes balances their representation in the corpus (Section 4.2.2).
+    std::vector<NodeId> by_visits(order);
+    std::sort(by_visits.begin(), by_visits.end(),
+              [&](NodeId a, NodeId b) { return visits_[a] < visits_[b]; });
+    const size_t worst = std::max<size_t>(1, n / 4);
+    for (size_t e = 0; e < restart_epochs; ++e) {
+      for (size_t i = 0; i < n; ++i) {
+        const NodeId start = by_visits[i % worst];
+        Walk(start, rng, &walk);
+        if (!walk.empty()) corpus.push_back(walk);
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace leva

@@ -1,0 +1,64 @@
+#ifndef LEVA_EMBED_WALKS_H_
+#define LEVA_EMBED_WALKS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/alias.h"
+#include "graph/graph.h"
+
+namespace leva {
+
+/// Random-walk corpus generation parameters (Section 4.2.2).
+struct WalkOptions {
+  size_t walk_length = 80;
+  /// Total walk epochs; every epoch starts one walk per node.
+  size_t epochs = 10;
+  /// Use edge weights for transitions (requires per-node alias tables).
+  bool weighted = true;
+  /// Balanced generation: `epochs - restart_epochs` normal epochs, then
+  /// `restart_epochs` epochs whose starts are the worst-represented nodes.
+  bool balanced_restarts = false;
+  size_t restart_epochs = 4;
+  /// When > 0, a node visited more than this many times per epoch is skipped
+  /// (the walk steps through it without emitting it).
+  size_t visit_limit = 0;
+  /// Node2vec return / in-out parameters. 1.0/1.0 reduces to a plain walk.
+  double p = 1.0;
+  double q = 1.0;
+};
+
+/// A corpus is a list of node-id walks ("sentences" for Word2Vec).
+using WalkCorpus = std::vector<std::vector<NodeId>>;
+
+/// Generates random-walk corpora over a LevaGraph: plain uniform, weighted
+/// (alias tables), balanced-restart, and node2vec-biased second-order walks.
+class WalkGenerator {
+ public:
+  WalkGenerator(const LevaGraph* graph, WalkOptions options);
+
+  /// Generates the full corpus. Deterministic given `rng`'s seed.
+  Result<WalkCorpus> Generate(Rng* rng);
+
+  /// Visit counts from the last Generate call (per node).
+  const std::vector<size_t>& visit_counts() const { return visits_; }
+
+  /// Bytes consumed by the alias tables (zero for unweighted walks); the
+  /// weighted/unweighted memory tradeoff of Section 4.3.
+  size_t AliasMemoryBytes() const;
+
+ private:
+  // One walk from `start`, appended to the corpus.
+  void Walk(NodeId start, Rng* rng, std::vector<NodeId>* out);
+  NodeId Step(NodeId current, NodeId previous, Rng* rng) const;
+
+  const LevaGraph* graph_;
+  WalkOptions options_;
+  std::vector<AliasTable> alias_;  // per node, only when weighted
+  std::vector<size_t> visits_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_EMBED_WALKS_H_

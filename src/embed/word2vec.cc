@@ -1,0 +1,141 @@
+#include "embed/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/alias.h"
+
+namespace leva {
+namespace {
+
+// Precomputed sigmoid over [-kMaxExp, kMaxExp], the classic word2vec trick.
+constexpr int kExpTableSize = 1000;
+constexpr double kMaxExp = 6.0;
+
+struct SigmoidTable {
+  double values[kExpTableSize];
+  SigmoidTable() {
+    for (int i = 0; i < kExpTableSize; ++i) {
+      const double x = (2.0 * i / kExpTableSize - 1.0) * kMaxExp;
+      values[i] = 1.0 / (1.0 + std::exp(-x));
+    }
+  }
+  double operator()(double x) const {
+    if (x >= kMaxExp) return 1.0;
+    if (x <= -kMaxExp) return 0.0;
+    const int idx =
+        static_cast<int>((x + kMaxExp) * (kExpTableSize / (2.0 * kMaxExp)));
+    return values[std::clamp(idx, 0, kExpTableSize - 1)];
+  }
+};
+
+double Sigmoid(double x) {
+  static const SigmoidTable table;
+  return table(x);
+}
+
+}  // namespace
+
+Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
+                       size_t vocab_size, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
+  if (vocab_size == 0) return Status::InvalidArgument("empty vocabulary");
+  const size_t dim = options_.dim;
+
+  // Token frequencies drive both subsampling and the negative distribution.
+  std::vector<double> freq(vocab_size, 0.0);
+  size_t total_tokens = 0;
+  for (const auto& sentence : corpus) {
+    for (const uint32_t t : sentence) {
+      if (t >= vocab_size) {
+        return Status::OutOfRange("token id exceeds vocab size");
+      }
+      freq[t] += 1.0;
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) return Status::InvalidArgument("empty corpus");
+
+  std::vector<double> noise(vocab_size);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    noise[i] = std::pow(freq[i], options_.unigram_power);
+  }
+  const AliasTable negative_sampler(noise);
+
+  // Subsampling keep-probability per token (word2vec formula).
+  std::vector<double> keep(vocab_size, 1.0);
+  if (options_.subsample > 0) {
+    for (size_t i = 0; i < vocab_size; ++i) {
+      if (freq[i] <= 0) continue;
+      const double f = freq[i] / static_cast<double>(total_tokens);
+      keep[i] = std::min(
+          1.0, std::sqrt(options_.subsample / f) + options_.subsample / f);
+    }
+  }
+
+  node_ = Matrix(vocab_size, dim);
+  context_ = Matrix(vocab_size, dim);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      node_(i, j) = (rng->Uniform() - 0.5) / static_cast<double>(dim);
+    }
+  }
+
+  const size_t total_steps =
+      std::max<size_t>(1, options_.epochs * total_tokens);
+  size_t steps = 0;
+  std::vector<double> grad(dim);
+  std::vector<uint32_t> kept;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sentence : corpus) {
+      kept.clear();
+      for (const uint32_t t : sentence) {
+        if (keep[t] >= 1.0 || rng->Uniform() < keep[t]) kept.push_back(t);
+      }
+      for (size_t pos = 0; pos < kept.size(); ++pos) {
+        ++steps;
+        const double lr =
+            options_.learning_rate *
+            std::max(1e-4, 1.0 - static_cast<double>(steps) /
+                                     static_cast<double>(total_steps));
+        // Dynamic window shrink, as in the reference implementation.
+        const size_t shrink = rng->UniformInt(options_.window) + 1;
+        const size_t begin = pos >= shrink ? pos - shrink : 0;
+        const size_t end = std::min(kept.size(), pos + shrink + 1);
+        const uint32_t center = kept[pos];
+        double* center_vec = node_.RowPtr(center);
+        for (size_t cpos = begin; cpos < end; ++cpos) {
+          if (cpos == pos) continue;
+          const uint32_t ctx = kept[cpos];
+          std::fill(grad.begin(), grad.end(), 0.0);
+          // Positive pair + `negative` sampled negatives.
+          for (size_t k = 0; k <= options_.negative; ++k) {
+            uint32_t target;
+            double label;
+            if (k == 0) {
+              target = ctx;
+              label = 1.0;
+            } else {
+              target = negative_sampler.Sample(rng);
+              if (target == ctx) continue;
+              label = 0.0;
+            }
+            double* target_vec = context_.RowPtr(target);
+            double dot = 0;
+            for (size_t j = 0; j < dim; ++j) dot += center_vec[j] * target_vec[j];
+            const double g = (label - Sigmoid(dot)) * lr;
+            for (size_t j = 0; j < dim; ++j) {
+              grad[j] += g * target_vec[j];
+              target_vec[j] += g * center_vec[j];
+            }
+          }
+          for (size_t j = 0; j < dim; ++j) center_vec[j] += grad[j];
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace leva

@@ -1,0 +1,53 @@
+#ifndef LEVA_EMBED_WORD2VEC_H_
+#define LEVA_EMBED_WORD2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace leva {
+
+/// Skip-gram with negative sampling (Mikolov et al. 2013), trained over a
+/// corpus of uint32 token-id sentences (typically random walks). Produces a
+/// node embedding (input vectors) and a context embedding, the pair that
+/// approximates the proximity matrix of Section 4.2.
+struct Word2VecOptions {
+  size_t dim = 100;
+  size_t window = 5;
+  size_t negative = 5;
+  /// Frequent-token subsampling threshold; the paper's "negative sampling
+  /// rate" setting (1e-3).
+  double subsample = 1e-3;
+  double learning_rate = 0.025;
+  size_t epochs = 3;
+  /// Unigram distortion exponent for the negative-sampling distribution.
+  double unigram_power = 0.75;
+};
+
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options = {}) : options_(options) {}
+
+  /// Trains on `corpus`; token ids must be < vocab_size.
+  Status Train(const std::vector<std::vector<uint32_t>>& corpus,
+               size_t vocab_size, Rng* rng);
+
+  /// Input ("node") vectors, vocab_size x dim.
+  const Matrix& node_vectors() const { return node_; }
+  /// Output ("context") vectors.
+  const Matrix& context_vectors() const { return context_; }
+
+  const Word2VecOptions& options() const { return options_; }
+
+ private:
+  Word2VecOptions options_;
+  Matrix node_;
+  Matrix context_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_EMBED_WORD2VEC_H_

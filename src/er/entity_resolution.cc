@@ -1,0 +1,86 @@
+#include "er/entity_resolution.h"
+
+#include <cmath>
+
+#include "ml/linear.h"
+#include "ml/metrics.h"
+
+namespace leva {
+
+Result<Database> ErDatabase(const ErDataset& dataset) {
+  Database db;
+  LEVA_RETURN_IF_ERROR(db.AddTable(dataset.table_a));
+  LEVA_RETURN_IF_ERROR(db.AddTable(dataset.table_b));
+  return db;
+}
+
+Result<ErEvalResult> EvaluateEntityResolution(const EmbeddingModel& model,
+                                              const ErDataset& dataset,
+                                              const ErEvalOptions& options) {
+  if (dataset.pairs.empty()) {
+    return Status::InvalidArgument("no candidate pairs");
+  }
+  const size_t dim = model.dim();
+  const size_t width = dim + 2;  // |a-b| ++ cosine ++ L1
+
+  Matrix x(dataset.pairs.size(), width);
+  std::vector<double> y(dataset.pairs.size());
+  for (size_t p = 0; p < dataset.pairs.size(); ++p) {
+    const ErPair& pair = dataset.pairs[p];
+    LEVA_ASSIGN_OR_RETURN(
+        const std::vector<double> va,
+        model.RowVector(dataset.table_a, pair.row_a, "", true));
+    LEVA_ASSIGN_OR_RETURN(
+        const std::vector<double> vb,
+        model.RowVector(dataset.table_b, pair.row_b, "", true));
+    double dot = 0;
+    double na = 0;
+    double nb = 0;
+    double l1 = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      x(p, j) = std::fabs(va[j] - vb[j]);
+      dot += va[j] * vb[j];
+      na += va[j] * va[j];
+      nb += vb[j] * vb[j];
+      l1 += std::fabs(va[j] - vb[j]);
+    }
+    x(p, dim) = (na > 0 && nb > 0) ? dot / std::sqrt(na * nb) : 0.0;
+    x(p, dim + 1) = l1 / static_cast<double>(dim);
+    y[p] = pair.match ? 1.0 : 0.0;
+  }
+
+  Rng rng(options.seed);
+  const size_t train_n = static_cast<size_t>(
+      options.train_fraction * static_cast<double>(dataset.pairs.size()));
+  const std::vector<size_t> perm = rng.Permutation(dataset.pairs.size());
+
+  Matrix train_x(train_n, width);
+  std::vector<double> train_y(train_n);
+  Matrix test_x(dataset.pairs.size() - train_n, width);
+  std::vector<double> test_y(dataset.pairs.size() - train_n);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (i < train_n) {
+      for (size_t j = 0; j < width; ++j) train_x(i, j) = x(perm[i], j);
+      train_y[i] = y[perm[i]];
+    } else {
+      const size_t t = i - train_n;
+      for (size_t j = 0; j < width; ++j) test_x(t, j) = x(perm[i], j);
+      test_y[t] = y[perm[i]];
+    }
+  }
+
+  ElasticNetOptions lr_options;
+  lr_options.lambda = 1e-4;
+  lr_options.epochs = 60;
+  LogisticRegressor classifier(2, lr_options);
+  LEVA_RETURN_IF_ERROR(classifier.Fit(train_x, train_y, &rng));
+  const std::vector<double> pred = classifier.Predict(test_x);
+
+  ErEvalResult result;
+  result.f1 = F1Binary(test_y, pred);
+  result.precision = PrecisionBinary(test_y, pred);
+  result.recall = RecallBinary(test_y, pred);
+  return result;
+}
+
+}  // namespace leva

@@ -1,0 +1,42 @@
+#ifndef LEVA_GRAPH_ALIAS_H_
+#define LEVA_GRAPH_ALIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace leva {
+
+/// Walker's alias method: O(n) preprocessing, O(1) draws from an arbitrary
+/// discrete distribution. Used for weighted random-walk transitions
+/// (Section 4.3 discusses the memory cost of keeping one table per node).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative `weights` (need not be normalized).
+  /// An all-zero/ empty input yields an empty table (Sample must not be
+  /// called on it).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index with probability proportional to its weight.
+  uint32_t Sample(Rng* rng) const;
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+  /// Bytes used by this table (for the memory accounting in Section 4.3).
+  size_t MemoryBytes() const {
+    return prob_.capacity() * sizeof(double) +
+           alias_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_GRAPH_ALIAS_H_

@@ -1,0 +1,263 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace leva {
+namespace {
+
+// Per-token accumulator used during the voting pass.
+struct TokenAgg {
+  // (row node, attr id) occurrences, deduplicated lazily.
+  std::vector<std::pair<NodeId, uint32_t>> occurrences;
+  // attr id -> votes
+  std::unordered_map<uint32_t, size_t> votes;
+};
+
+}  // namespace
+
+NodeId LevaGraph::RowNode(const std::string& table, size_t row) const {
+  const auto it = row_index_.find(table);
+  if (it == row_index_.end() || row >= it->second.second) return kInvalidNode;
+  return it->second.first + static_cast<NodeId>(row);
+}
+
+NodeId LevaGraph::ValueNode(const std::string& token) const {
+  const auto it = value_index_.find(token);
+  return it == value_index_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<NodeId> LevaGraph::NodesOfKind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < kinds_.size(); ++n) {
+    if (kinds_[n] == kind) out.push_back(n);
+  }
+  return out;
+}
+
+size_t LevaGraph::MemoryBytes() const {
+  size_t bytes = kinds_.capacity() * sizeof(NodeKind) +
+                 offsets_.capacity() * sizeof(size_t) +
+                 targets_.capacity() * sizeof(NodeId) +
+                 weights_.capacity() * sizeof(float);
+  for (const std::string& l : labels_) bytes += l.capacity() + sizeof(l);
+  return bytes;
+}
+
+NodeId GraphBuilder::AddNode(NodeKind kind, std::string label) {
+  const NodeId id = static_cast<NodeId>(kinds_.size());
+  kinds_.push_back(kind);
+  labels_.push_back(std::move(label));
+  return id;
+}
+
+Status GraphBuilder::AddEdge(NodeId a, NodeId b, float w) {
+  if (a >= kinds_.size() || b >= kinds_.size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  edges_.emplace_back(a, b);
+  edge_weights_.push_back(w);
+  return Status::OK();
+}
+
+void GraphBuilder::RegisterTableRows(const std::string& table, NodeId first,
+                                     size_t count) {
+  row_index_[table] = {first, count};
+}
+
+LevaGraph GraphBuilder::Build() && {
+  LevaGraph g;
+  const size_t n = kinds_.size();
+  g.kinds_ = std::move(kinds_);
+  g.labels_ = std::move(labels_);
+  g.row_index_ = std::move(row_index_);
+  for (NodeId i = 0; i < n; ++i) {
+    if (g.kinds_[i] == NodeKind::kValue) g.value_index_.emplace(g.labels_[i], i);
+  }
+
+  // Sort edge endpoints so neighbor lists come out ascending (the node2vec
+  // transition relies on binary-searchable adjacency).
+  std::vector<size_t> degree(n, 0);
+  for (const auto& [a, b] : edges_) {
+    ++degree[a];
+    ++degree[b];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] = g.offsets_[i] + degree[i];
+  g.targets_.assign(g.offsets_[n], 0);
+  g.weights_.assign(g.offsets_[n], 0.f);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Insert edges in endpoint-sorted order per node: gather then sort ranges.
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const auto [a, b] = edges_[e];
+    g.targets_[cursor[a]] = b;
+    g.weights_[cursor[a]] = edge_weights_[e];
+    ++cursor[a];
+    g.targets_[cursor[b]] = a;
+    g.weights_[cursor[b]] = edge_weights_[e];
+    ++cursor[b];
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    const size_t begin = g.offsets_[i];
+    const size_t end = g.offsets_[i + 1];
+    // Sort (target, weight) pairs by target.
+    std::vector<std::pair<NodeId, float>> pairs;
+    pairs.reserve(end - begin);
+    for (size_t k = begin; k < end; ++k) {
+      pairs.emplace_back(g.targets_[k], g.weights_[k]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    for (size_t k = begin; k < end; ++k) {
+      g.targets_[k] = pairs[k - begin].first;
+      g.weights_[k] = pairs[k - begin].second;
+    }
+  }
+  g.stats_.row_nodes = 0;
+  g.stats_.value_nodes = 0;
+  for (NodeKind k : g.kinds_) {
+    if (k == NodeKind::kRow) ++g.stats_.row_nodes;
+    else ++g.stats_.value_nodes;
+  }
+  g.stats_.edges = edges_.size();
+  return g;
+}
+
+Result<LevaGraph> BuildGraph(const std::vector<TextifiedTable>& tables,
+                             size_t total_attributes,
+                             const GraphOptions& options) {
+  if (options.theta_range <= 0 || options.theta_range > 1) {
+    return Status::InvalidArgument("theta_range must be in (0, 1]");
+  }
+  if (options.theta_min < 0 || options.theta_min >= 1) {
+    return Status::InvalidArgument("theta_min must be in [0, 1)");
+  }
+
+  LevaGraph g;
+
+  // --- Row nodes (one per row of every table). ---
+  for (const TextifiedTable& t : tables) {
+    const NodeId first = static_cast<NodeId>(g.kinds_.size());
+    if (g.row_index_.count(t.table_name) > 0) {
+      return Status::InvalidArgument("duplicate table '" + t.table_name + "'");
+    }
+    g.row_index_.emplace(t.table_name, std::make_pair(first, t.rows.size()));
+    for (size_t r = 0; r < t.rows.size(); ++r) {
+      g.kinds_.push_back(NodeKind::kRow);
+      g.labels_.push_back(t.table_name + ":" + std::to_string(r));
+    }
+  }
+
+  // --- Token pass: collect occurrences and attribute votes (Alg. 1, l.4-10).
+  std::unordered_map<std::string, TokenAgg> aggs;
+  for (const TextifiedTable& t : tables) {
+    const NodeId first = g.row_index_.at(t.table_name).first;
+    for (size_t r = 0; r < t.rows.size(); ++r) {
+      const NodeId row_node = first + static_cast<NodeId>(r);
+      for (const TextToken& tok : t.rows[r]) {
+        TokenAgg& agg = aggs[tok.token];
+        agg.occurrences.emplace_back(row_node, tok.attr_id);
+        ++agg.votes[tok.attr_id];
+      }
+    }
+  }
+  g.stats_.tokens_seen = aggs.size();
+
+  // --- Refinement (Alg. 1, l.11-12) and value-node creation. ---
+  // Edge lists per row node; value nodes appended after row nodes.
+  struct PendingValue {
+    const std::string* token;
+    std::vector<NodeId> rows;  // deduplicated row endpoints
+  };
+  std::vector<PendingValue> pending;
+  // A token seen under a single attribute can never be "missing data", so
+  // the removal threshold is at least one attribute regardless of theta_range
+  // (matters for tiny schemas).
+  const double max_attrs = std::max(
+      1.0, options.theta_range * static_cast<double>(total_attributes));
+
+  for (auto& [token, agg] : aggs) {
+    // Missing-data detection: token voted under too many distinct attributes.
+    if (static_cast<double>(agg.votes.size()) > max_attrs) {
+      ++g.stats_.tokens_removed_missing;
+      continue;
+    }
+    // Low-evidence attribute removal.
+    size_t total_votes = 0;
+    for (const auto& [attr, n] : agg.votes) total_votes += n;
+    const double min_votes =
+        options.theta_min * static_cast<double>(total_votes);
+    std::vector<NodeId> rows;
+    rows.reserve(agg.occurrences.size());
+    for (const auto& [row_node, attr] : agg.occurrences) {
+      if (static_cast<double>(agg.votes.at(attr)) < min_votes) {
+        ++g.stats_.votes_dropped_lowevidence;
+        continue;
+      }
+      rows.push_back(row_node);
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    // Value nodes only for values shared between multiple rows (Section 3.1).
+    if (rows.size() < 2) {
+      ++g.stats_.tokens_removed_unshared;
+      continue;
+    }
+    pending.push_back(PendingValue{&token, std::move(rows)});
+  }
+
+  // Deterministic node ordering regardless of hash-map iteration order.
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingValue& a, const PendingValue& b) {
+              return *a.token < *b.token;
+            });
+
+  const size_t num_rows = g.kinds_.size();
+  size_t num_edges = 0;
+  for (const PendingValue& pv : pending) num_edges += pv.rows.size();
+
+  for (const PendingValue& pv : pending) {
+    const NodeId vn = static_cast<NodeId>(g.kinds_.size());
+    g.kinds_.push_back(NodeKind::kValue);
+    g.labels_.push_back(*pv.token);
+    g.value_index_.emplace(*pv.token, vn);
+  }
+
+  g.stats_.row_nodes = num_rows;
+  g.stats_.value_nodes = pending.size();
+  g.stats_.edges = num_edges;
+
+  // --- CSR assembly with weighting (Alg. 1, l.13). ---
+  const size_t n = g.kinds_.size();
+  std::vector<size_t> degree(n, 0);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const NodeId vn = static_cast<NodeId>(num_rows + i);
+    degree[vn] = pending[i].rows.size();
+    for (const NodeId r : pending[i].rows) ++degree[r];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] = g.offsets_[i] + degree[i];
+  g.targets_.assign(g.offsets_[n], 0);
+  g.weights_.assign(g.offsets_[n], 0.f);
+
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const NodeId vn = static_cast<NodeId>(num_rows + i);
+    // Edge weight inversely proportional to the value node's degree: value
+    // nodes shared by many rows carry less inclusion-dependency signal.
+    const float w = options.weighted
+                        ? 1.0f / static_cast<float>(pending[i].rows.size())
+                        : 1.0f;
+    for (const NodeId r : pending[i].rows) {
+      g.targets_[cursor[vn]] = r;
+      g.weights_[cursor[vn]] = w;
+      ++cursor[vn];
+      g.targets_[cursor[r]] = vn;
+      g.weights_[cursor[r]] = w;
+      ++cursor[r];
+    }
+  }
+  return g;
+}
+
+}  // namespace leva

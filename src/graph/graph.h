@@ -1,0 +1,135 @@
+#ifndef LEVA_GRAPH_GRAPH_H_
+#define LEVA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "text/textifier.h"
+
+namespace leva {
+
+/// Node identifier inside a LevaGraph.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class NodeKind : uint8_t {
+  kRow,    ///< one node per input row ("<table>:<row>")
+  kValue,  ///< one node per surviving shared token
+};
+
+/// Parameters of graph construction and refinement (Sections 3.1-3.2,
+/// defaults from Table 2).
+struct GraphOptions {
+  /// Tokens voted under more than this fraction of all attributes are treated
+  /// as missing-data representatives and removed.
+  double theta_range = 0.5;
+  /// For each value node, attributes receiving less than this fraction of the
+  /// node's votes are dropped (accidental syntactic collisions).
+  double theta_min = 0.05;
+  /// Assign edge weights 1/deg(value node); otherwise all edges weigh 1.
+  bool weighted = true;
+};
+
+/// Construction statistics, reported by the scalability benchmark and
+/// inspected by tests.
+struct GraphStats {
+  size_t row_nodes = 0;
+  size_t value_nodes = 0;
+  size_t edges = 0;  // undirected edges
+  size_t tokens_seen = 0;
+  size_t tokens_removed_missing = 0;   // theta_range removals
+  size_t tokens_removed_unshared = 0;  // appeared in a single row only
+  size_t votes_dropped_lowevidence = 0;  // theta_min removals
+};
+
+/// The refined bipartite row/value-node graph of Section 3. Row nodes connect
+/// only to value nodes and vice versa. Adjacency is CSR with per-edge weights.
+class LevaGraph {
+ public:
+  size_t NumNodes() const { return kinds_.size(); }
+  size_t NumEdges() const { return targets_.size() / 2; }
+
+  NodeKind kind(NodeId n) const { return kinds_[n]; }
+  /// "<table>:<row>" for row nodes; the token text for value nodes.
+  const std::string& label(NodeId n) const { return labels_[n]; }
+
+  /// Neighbors of `n` and matching edge weights.
+  std::span<const NodeId> Neighbors(NodeId n) const {
+    return {targets_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
+  }
+  std::span<const float> Weights(NodeId n) const {
+    return {weights_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
+  }
+  size_t Degree(NodeId n) const { return offsets_[n + 1] - offsets_[n]; }
+
+  /// Row node for row `row` of the table named `table`, or kInvalidNode.
+  NodeId RowNode(const std::string& table, size_t row) const;
+  /// Value node for `token`, or kInvalidNode.
+  NodeId ValueNode(const std::string& token) const;
+
+  /// All node ids of the given kind, in id order.
+  std::vector<NodeId> NodesOfKind(NodeKind kind) const;
+
+  /// Approximate heap footprint of the CSR structure in bytes.
+  size_t MemoryBytes() const;
+
+  const GraphStats& stats() const { return stats_; }
+
+ private:
+  friend class GraphBuilder;
+  friend Result<LevaGraph> BuildGraph(const std::vector<TextifiedTable>&,
+                                      size_t, const GraphOptions&);
+
+  std::vector<NodeKind> kinds_;
+  std::vector<std::string> labels_;
+  std::vector<size_t> offsets_;   // size NumNodes()+1
+  std::vector<NodeId> targets_;
+  std::vector<float> weights_;
+  std::unordered_map<std::string, NodeId> value_index_;
+  // table name -> (first row node id, row count)
+  std::unordered_map<std::string, std::pair<NodeId, size_t>> row_index_;
+  GraphStats stats_;
+};
+
+/// Constructs arbitrary LevaGraphs edge by edge. BuildGraph (Algorithm 1) is
+/// the production path; this builder backs baselines that use different graph
+/// shapes (e.g. EmbDI's tripartite cell-row-column graph) and tests.
+class GraphBuilder {
+ public:
+  /// Adds a node and returns its id. Labels must be unique per kind usage
+  /// contract of the caller; value-node labels are indexed for lookup.
+  NodeId AddNode(NodeKind kind, std::string label);
+
+  /// Adds an undirected edge (both directions) with weight `w`.
+  Status AddEdge(NodeId a, NodeId b, float w = 1.0f);
+
+  /// Registers `first..first+count` as the row nodes of `table`.
+  void RegisterTableRows(const std::string& table, NodeId first, size_t count);
+
+  /// Finalizes into a CSR graph (neighbor lists sorted ascending).
+  LevaGraph Build() &&;
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<std::string> labels_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<float> edge_weights_;
+  std::unordered_map<std::string, std::pair<NodeId, size_t>> row_index_;
+};
+
+/// Runs Algorithm 1: node/edge construction from textified tables, the
+/// attribute-voting refinement, and edge weighting.
+///
+/// `total_attributes` is the number of attributes in the whole database
+/// (Textifier::NumAttributes()), the denominator of theta_range.
+Result<LevaGraph> BuildGraph(const std::vector<TextifiedTable>& tables,
+                             size_t total_attributes,
+                             const GraphOptions& options = {});
+
+}  // namespace leva
+
+#endif  // LEVA_GRAPH_GRAPH_H_

@@ -1,0 +1,73 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace leva {
+
+SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
+                                        std::vector<Triplet> triplets) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.offsets_.assign(rows + 1, 0);
+  m.cols_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    const uint32_t r = triplets[i].row;
+    const uint32_t c = triplets[i].col;
+    assert(r < rows && c < cols);
+    double sum = 0;
+    while (i < triplets.size() && triplets[i].row == r && triplets[i].col == c) {
+      sum += triplets[i].value;
+      ++i;
+    }
+    m.cols_idx_.push_back(c);
+    m.values_.push_back(sum);
+    ++m.offsets_[r + 1];
+  }
+  for (size_t r = 0; r < rows; ++r) m.offsets_[r + 1] += m.offsets_[r];
+  return m;
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  assert(x.rows() == cols_);
+  Matrix y(rows_, x.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    double* yrow = y.RowPtr(r);
+    for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      const double v = values_[i];
+      const double* xrow = x.RowPtr(cols_idx_[i]);
+      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::TransposeMultiply(const Matrix& x) const {
+  assert(x.rows() == rows_);
+  Matrix y(cols_, x.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* xrow = x.RowPtr(r);
+    for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      const double v = values_[i];
+      double* yrow = y.RowPtr(cols_idx_[i]);
+      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+double SparseMatrix::At(size_t r, size_t c) const {
+  const auto begin = cols_idx_.begin() + static_cast<ptrdiff_t>(offsets_[r]);
+  const auto end = cols_idx_.begin() + static_cast<ptrdiff_t>(offsets_[r + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<uint32_t>(c));
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<size_t>(it - cols_idx_.begin())];
+}
+
+}  // namespace leva

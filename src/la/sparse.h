@@ -1,0 +1,62 @@
+#ifndef LEVA_LA_SPARSE_H_
+#define LEVA_LA_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace leva {
+
+/// A (row, col, value) entry used to assemble sparse matrices.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  double value;
+};
+
+/// CSR sparse matrix. The value-node construction keeps the proximity matrix
+/// sparse (Section 3.1), which is what makes the randomized factorization
+/// memory-feasible.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  static SparseMatrix FromTriplets(size_t rows, size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Y = this * X  (X: cols() x k dense).
+  Matrix Multiply(const Matrix& x) const;
+  /// Y = thisᵀ * X  (X: rows() x k dense).
+  Matrix TransposeMultiply(const Matrix& x) const;
+
+  /// Value at (r, c), 0 when absent. O(log deg) lookup.
+  double At(size_t r, size_t c) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(size_t) +
+           cols_idx_.capacity() * sizeof(uint32_t) +
+           values_.capacity() * sizeof(double);
+  }
+
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  const std::vector<uint32_t>& col_indices() const { return cols_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> offsets_;     // rows_+1
+  std::vector<uint32_t> cols_idx_;  // sorted within each row
+  std::vector<double> values_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_LA_SPARSE_H_

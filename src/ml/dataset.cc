@@ -1,0 +1,91 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+
+namespace leva {
+
+MLDataset MLDataset::Subset(const std::vector<size_t>& rows) const {
+  MLDataset out;
+  out.feature_names = feature_names;
+  out.classification = classification;
+  out.num_classes = num_classes;
+  out.x = Matrix(rows.size(), x.cols());
+  out.y.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t r = rows[i];
+    for (size_t c = 0; c < x.cols(); ++c) out.x(i, c) = x(r, c);
+    out.y[i] = y[r];
+  }
+  return out;
+}
+
+MLDataset MLDataset::SelectFeatures(const std::vector<size_t>& cols) const {
+  MLDataset out;
+  out.classification = classification;
+  out.num_classes = num_classes;
+  out.y = y;
+  out.x = Matrix(x.rows(), cols.size());
+  out.feature_names.reserve(cols.size());
+  for (size_t j = 0; j < cols.size(); ++j) {
+    out.feature_names.push_back(j < feature_names.size() &&
+                                        cols[j] < feature_names.size()
+                                    ? feature_names[cols[j]]
+                                    : "f" + std::to_string(cols[j]));
+    for (size_t r = 0; r < x.rows(); ++r) out.x(r, j) = x(r, cols[j]);
+  }
+  return out;
+}
+
+TrainTestSplit SplitTrainTest(const MLDataset& ds, double test_fraction,
+                              Rng* rng) {
+  std::vector<size_t> perm = rng->Permutation(ds.NumRows());
+  const size_t test_n = static_cast<size_t>(
+      std::round(test_fraction * static_cast<double>(ds.NumRows())));
+  TrainTestSplit split;
+  split.test_rows.assign(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(test_n));
+  split.train_rows.assign(perm.begin() + static_cast<ptrdiff_t>(test_n), perm.end());
+  split.train = ds.Subset(split.train_rows);
+  split.test = ds.Subset(split.test_rows);
+  return split;
+}
+
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, size_t k, Rng* rng) {
+  std::vector<size_t> perm = rng->Permutation(n);
+  std::vector<std::vector<size_t>> folds(k);
+  for (size_t i = 0; i < n; ++i) folds[i % k].push_back(perm[i]);
+  return folds;
+}
+
+void StandardizeFeatures(MLDataset* fit_on, MLDataset* apply_also) {
+  const size_t d = fit_on->NumFeatures();
+  const size_t n = fit_on->NumRows();
+  if (n == 0) return;
+  std::vector<double> mean(d, 0.0);
+  std::vector<double> stddev(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) mean[c] += fit_on->x(r, c);
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      const double diff = fit_on->x(r, c) - mean[c];
+      stddev[c] += diff * diff;
+    }
+  }
+  for (double& s : stddev) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;
+  }
+  auto apply = [&](MLDataset* ds) {
+    if (ds == nullptr) return;
+    for (size_t r = 0; r < ds->NumRows(); ++r) {
+      for (size_t c = 0; c < d && c < ds->NumFeatures(); ++c) {
+        ds->x(r, c) = (ds->x(r, c) - mean[c]) / stddev[c];
+      }
+    }
+  };
+  apply(fit_on);
+  apply(apply_also);
+}
+
+}  // namespace leva

@@ -1,0 +1,51 @@
+#ifndef LEVA_ML_DATASET_H_
+#define LEVA_ML_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace leva {
+
+/// A featurized training dataset: X (rows x features) and targets y.
+/// For classification, y holds class ids in [0, num_classes); for regression,
+/// raw values.
+struct MLDataset {
+  Matrix x;
+  std::vector<double> y;
+  std::vector<std::string> feature_names;
+  bool classification = true;
+  size_t num_classes = 2;
+
+  size_t NumRows() const { return x.rows(); }
+  size_t NumFeatures() const { return x.cols(); }
+
+  /// Dataset restricted to `rows`.
+  MLDataset Subset(const std::vector<size_t>& rows) const;
+  /// Dataset restricted to feature columns `cols`.
+  MLDataset SelectFeatures(const std::vector<size_t>& cols) const;
+};
+
+/// Deterministic shuffled split; `test_fraction` of rows go to test.
+struct TrainTestSplit {
+  MLDataset train;
+  MLDataset test;
+  std::vector<size_t> train_rows;  // original indices
+  std::vector<size_t> test_rows;
+};
+TrainTestSplit SplitTrainTest(const MLDataset& ds, double test_fraction,
+                              Rng* rng);
+
+/// K-fold index sets for cross-validation.
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, size_t k, Rng* rng);
+
+/// Standardizes features to zero mean / unit variance using statistics from
+/// `fit_on`, applied to both (train-only statistics avoid test leakage).
+void StandardizeFeatures(MLDataset* fit_on, MLDataset* apply_also);
+
+}  // namespace leva
+
+#endif  // LEVA_ML_DATASET_H_

@@ -1,0 +1,74 @@
+#include "ml/gridsearch.h"
+
+namespace leva {
+
+std::vector<ParamSet> BuildParamGrid(
+    const std::map<std::string, std::vector<double>>& axes) {
+  std::vector<ParamSet> grid = {ParamSet{}};
+  for (const auto& [name, values] : axes) {
+    std::vector<ParamSet> next;
+    next.reserve(grid.size() * values.size());
+    for (const ParamSet& base : grid) {
+      for (const double v : values) {
+        ParamSet p = base;
+        p[name] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    grid = std::move(next);
+  }
+  return grid;
+}
+
+Result<GridSearchResult> GridSearchCV(const ModelFactory& factory,
+                                      const std::vector<ParamSet>& grid,
+                                      const MLDataset& data, size_t folds,
+                                      const ScoreFn& score,
+                                      bool higher_is_better, Rng* rng) {
+  if (grid.empty()) return Status::InvalidArgument("empty parameter grid");
+  if (folds < 2) return Status::InvalidArgument("need >= 2 folds");
+  if (data.NumRows() < folds) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+  const auto fold_indices = KFoldIndices(data.NumRows(), folds, rng);
+
+  GridSearchResult result;
+  bool first = true;
+  for (const ParamSet& params : grid) {
+    double total = 0;
+    for (size_t f = 0; f < folds; ++f) {
+      std::vector<size_t> train_rows;
+      for (size_t g = 0; g < folds; ++g) {
+        if (g == f) continue;
+        train_rows.insert(train_rows.end(), fold_indices[g].begin(),
+                          fold_indices[g].end());
+      }
+      const MLDataset train = data.Subset(train_rows);
+      const MLDataset valid = data.Subset(fold_indices[f]);
+      std::unique_ptr<Model> model = factory(params);
+      if (model == nullptr) return Status::Internal("factory returned null");
+      LEVA_RETURN_IF_ERROR(model->Fit(train.x, train.y, rng));
+      total += score(valid.y, model->Predict(valid.x));
+    }
+    const double mean = total / static_cast<double>(folds);
+    const bool better = higher_is_better ? mean > result.best_score
+                                         : mean < result.best_score;
+    if (first || better) {
+      result.best_score = mean;
+      result.best_params = params;
+      first = false;
+    }
+  }
+  return result;
+}
+
+Result<double> FitAndScore(const ModelFactory& factory, const ParamSet& params,
+                           const MLDataset& train, const MLDataset& test,
+                           const ScoreFn& score, Rng* rng) {
+  std::unique_ptr<Model> model = factory(params);
+  if (model == nullptr) return Status::Internal("factory returned null");
+  LEVA_RETURN_IF_ERROR(model->Fit(train.x, train.y, rng));
+  return score(test.y, model->Predict(test.x));
+}
+
+}  // namespace leva

@@ -1,0 +1,50 @@
+#ifndef LEVA_ML_GRIDSEARCH_H_
+#define LEVA_ML_GRIDSEARCH_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace leva {
+
+/// A single hyper-parameter assignment.
+using ParamSet = std::map<std::string, double>;
+
+/// Constructs a fresh model for a parameter assignment.
+using ModelFactory = std::function<std::unique_ptr<Model>(const ParamSet&)>;
+
+/// truth, pred -> score.
+using ScoreFn = std::function<double(const std::vector<double>&,
+                                     const std::vector<double>&)>;
+
+/// Cartesian product of per-parameter value lists.
+std::vector<ParamSet> BuildParamGrid(
+    const std::map<std::string, std::vector<double>>& axes);
+
+struct GridSearchResult {
+  ParamSet best_params;
+  double best_score = 0.0;
+};
+
+/// K-fold cross-validated grid search, the paper's hyper-parameter selection
+/// protocol ("best performance after configuring model hyper-parameters using
+/// grid search").
+Result<GridSearchResult> GridSearchCV(const ModelFactory& factory,
+                                      const std::vector<ParamSet>& grid,
+                                      const MLDataset& data, size_t folds,
+                                      const ScoreFn& score,
+                                      bool higher_is_better, Rng* rng);
+
+/// Convenience: fits `factory(best)` on `train` and scores on `test`.
+Result<double> FitAndScore(const ModelFactory& factory, const ParamSet& params,
+                           const MLDataset& train, const MLDataset& test,
+                           const ScoreFn& score, Rng* rng);
+
+}  // namespace leva
+
+#endif  // LEVA_ML_GRIDSEARCH_H_

@@ -1,0 +1,169 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leva {
+namespace {
+
+// Soft-thresholding (proximal operator of the L1 norm).
+double SoftThreshold(double w, double t) {
+  if (w > t) return w - t;
+  if (w < -t) return w + t;
+  return 0.0;
+}
+
+}  // namespace
+
+Status LinearRegressor::Fit(const Matrix& x, const std::vector<double>& y,
+                            Rng* rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("X rows and y size differ");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  const double l1 = options_.lambda * options_.l1_ratio;
+  const double l2 = options_.lambda * (1.0 - options_.l1_ratio);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    const double lr = options_.learning_rate /
+                      (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t start = 0; start < n; start += options_.batch_size) {
+      const size_t end = std::min(n, start + options_.batch_size);
+      const double inv = 1.0 / static_cast<double>(end - start);
+      double grad_b = 0;
+      thread_local std::vector<double> grad;
+      grad.assign(d, 0.0);
+      for (size_t k = start; k < end; ++k) {
+        const size_t i = order[k];
+        const double* row = x.RowPtr(i);
+        double pred = b_;
+        for (size_t j = 0; j < d; ++j) pred += w_[j] * row[j];
+        const double err = pred - y[i];
+        grad_b += err;
+        for (size_t j = 0; j < d; ++j) grad[j] += err * row[j];
+      }
+      b_ -= lr * grad_b * inv;
+      for (size_t j = 0; j < d; ++j) {
+        double w = w_[j] - lr * (grad[j] * inv + l2 * w_[j]);
+        w_[j] = SoftThreshold(w, lr * l1);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> LinearRegressor::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows(), b_);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < w_.size(); ++j) out[i] += w_[j] * row[j];
+  }
+  return out;
+}
+
+Status LogisticRegressor::Fit(const Matrix& x, const std::vector<double>& y,
+                              Rng* rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("X rows and y size differ");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (num_classes_ < 2) return Status::InvalidArgument("need >= 2 classes");
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const size_t c = num_classes_;
+  w_ = Matrix(c, d);
+  b_.assign(c, 0.0);
+
+  const double l1 = options_.lambda * options_.l1_ratio;
+  const double l2 = options_.lambda * (1.0 - options_.l1_ratio);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<double> logits(c);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    const double lr = options_.learning_rate /
+                      (1.0 + 0.05 * static_cast<double>(epoch));
+    for (const size_t i : order) {
+      const double* row = x.RowPtr(i);
+      double max_logit = -1e300;
+      for (size_t k = 0; k < c; ++k) {
+        double z = b_[k];
+        const double* wrow = w_.RowPtr(k);
+        for (size_t j = 0; j < d; ++j) z += wrow[j] * row[j];
+        logits[k] = z;
+        max_logit = std::max(max_logit, z);
+      }
+      double denom = 0;
+      for (size_t k = 0; k < c; ++k) {
+        logits[k] = std::exp(logits[k] - max_logit);
+        denom += logits[k];
+      }
+      const size_t label = static_cast<size_t>(y[i]);
+      for (size_t k = 0; k < c; ++k) {
+        const double p = logits[k] / denom;
+        const double err = p - (k == label ? 1.0 : 0.0);
+        double* wrow = w_.RowPtr(k);
+        b_[k] -= lr * err;
+        for (size_t j = 0; j < d; ++j) {
+          double w = wrow[j] - lr * (err * row[j] + l2 * wrow[j]);
+          wrow[j] = SoftThreshold(w, lr * l1);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Matrix LogisticRegressor::PredictProba(const Matrix& x) const {
+  const size_t c = num_classes_;
+  Matrix proba(x.rows(), c);
+  std::vector<double> logits(c);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    double max_logit = -1e300;
+    for (size_t k = 0; k < c; ++k) {
+      double z = b_.empty() ? 0.0 : b_[k];
+      if (w_.rows() == c) {
+        const double* wrow = w_.RowPtr(k);
+        for (size_t j = 0; j < x.cols() && j < w_.cols(); ++j) {
+          z += wrow[j] * row[j];
+        }
+      }
+      logits[k] = z;
+      max_logit = std::max(max_logit, z);
+    }
+    double denom = 0;
+    for (size_t k = 0; k < c; ++k) {
+      logits[k] = std::exp(logits[k] - max_logit);
+      denom += logits[k];
+    }
+    for (size_t k = 0; k < c; ++k) proba(i, k) = logits[k] / denom;
+  }
+  return proba;
+}
+
+std::vector<double> LogisticRegressor::Predict(const Matrix& x) const {
+  const Matrix proba = PredictProba(x);
+  std::vector<double> out(x.rows(), 0.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    for (size_t k = 1; k < num_classes_; ++k) {
+      if (proba(i, k) > proba(i, best)) best = k;
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+}  // namespace leva

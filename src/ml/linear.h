@@ -1,0 +1,61 @@
+#ifndef LEVA_ML_LINEAR_H_
+#define LEVA_ML_LINEAR_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace leva {
+
+/// ElasticNet penalty: lambda * (l1_ratio * |w|_1 + (1-l1_ratio)/2 * |w|_2²).
+/// lambda = 0 recovers plain least squares / logistic regression.
+struct ElasticNetOptions {
+  double lambda = 0.0;
+  double l1_ratio = 0.5;
+  double learning_rate = 0.05;
+  size_t epochs = 100;
+  size_t batch_size = 32;
+};
+
+/// Linear regression trained by minibatch SGD with a proximal L1 step.
+class LinearRegressor : public Model {
+ public:
+  explicit LinearRegressor(ElasticNetOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  ElasticNetOptions options_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Multinomial logistic regression (softmax) with ElasticNet; the paper's
+/// "logistic regression with ElasticNet regularization" classifier.
+class LogisticRegressor : public Model {
+ public:
+  explicit LogisticRegressor(size_t num_classes,
+                             ElasticNetOptions options = {})
+      : num_classes_(num_classes), options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  /// Row-wise class probabilities (rows x num_classes).
+  Matrix PredictProba(const Matrix& x) const;
+
+ private:
+  size_t num_classes_;
+  ElasticNetOptions options_;
+  Matrix w_;  // num_classes x features
+  std::vector<double> b_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_ML_LINEAR_H_

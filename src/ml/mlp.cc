@@ -1,0 +1,240 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leva {
+
+void MLP::Forward(const double* row, std::vector<double>* hidden,
+                  std::vector<double>* out) const {
+  hidden->assign(options_.hidden_dim, 0.0);
+  for (size_t h = 0; h < options_.hidden_dim; ++h) {
+    double z = b1_[h];
+    const double* wrow = w1_.RowPtr(h);
+    for (size_t j = 0; j < in_dim_; ++j) z += wrow[j] * row[j];
+    (*hidden)[h] = z > 0 ? z : 0.0;  // ReLU
+  }
+  out->assign(out_dim_, 0.0);
+  for (size_t k = 0; k < out_dim_; ++k) {
+    double z = b2_[k];
+    const double* wrow = w2_.RowPtr(k);
+    for (size_t h = 0; h < options_.hidden_dim; ++h) z += wrow[h] * (*hidden)[h];
+    (*out)[k] = z;
+  }
+}
+
+Status MLP::Fit(const Matrix& x, const std::vector<double>& raw_y, Rng* rng) {
+  if (x.rows() != raw_y.size()) {
+    return Status::InvalidArgument("X rows and y size differ");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  // Standardize regression targets so the learning rate is scale-free.
+  y_mean_ = 0.0;
+  y_std_ = 1.0;
+  std::vector<double> y = raw_y;
+  if (!options_.classification) {
+    for (const double v : y) y_mean_ += v;
+    y_mean_ /= static_cast<double>(y.size());
+    double var = 0;
+    for (const double v : y) var += (v - y_mean_) * (v - y_mean_);
+    y_std_ = std::sqrt(var / static_cast<double>(y.size()));
+    if (y_std_ < 1e-12) y_std_ = 1.0;
+    for (double& v : y) v = (v - y_mean_) / y_std_;
+  }
+  in_dim_ = x.cols();
+  out_dim_ = options_.classification ? options_.num_classes : 1;
+  const size_t hdim = options_.hidden_dim;
+
+  // He initialization for the ReLU layer, Xavier-ish for the output.
+  const double s1 = std::sqrt(2.0 / static_cast<double>(std::max<size_t>(1, in_dim_)));
+  const double s2 = std::sqrt(1.0 / static_cast<double>(hdim));
+  w1_ = Matrix::GaussianRandom(hdim, in_dim_, rng, s1);
+  w2_ = Matrix::GaussianRandom(out_dim_, hdim, rng, s2);
+  b1_.assign(hdim, 0.0);
+  b2_.assign(out_dim_, 0.0);
+
+  const size_t n = x.rows();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  std::vector<double> hidden(hdim);
+  std::vector<double> out(out_dim_);
+  std::vector<double> delta_out(out_dim_);
+  std::vector<double> delta_hidden(hdim);
+  std::vector<uint8_t> mask(hdim, 1);
+  const double keep = 1.0 - options_.dropout;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    const double lr = options_.learning_rate /
+                      (1.0 + 0.02 * static_cast<double>(epoch));
+    for (const size_t i : order) {
+      const double* row = x.RowPtr(i);
+      Forward(row, &hidden, &out);
+
+      // Inverted dropout on hidden activations.
+      if (options_.dropout > 0) {
+        for (size_t h = 0; h < hdim; ++h) {
+          mask[h] = rng->Uniform() < keep ? 1 : 0;
+          hidden[h] = mask[h] ? hidden[h] / keep : 0.0;
+        }
+        // Recompute logits with dropped activations.
+        for (size_t k = 0; k < out_dim_; ++k) {
+          double z = b2_[k];
+          const double* wrow = w2_.RowPtr(k);
+          for (size_t h = 0; h < hdim; ++h) z += wrow[h] * hidden[h];
+          out[k] = z;
+        }
+      }
+
+      // Per-sample step-size normalization (NLMS-style): keeps SGD stable
+      // when standardized one-hot features produce large hidden activations.
+      double hidden_norm2 = 0;
+      for (size_t h = 0; h < hdim; ++h) hidden_norm2 += hidden[h] * hidden[h];
+      const double lr_eff = lr / (1.0 + 0.05 * hidden_norm2);
+
+      // Output deltas: softmax cross-entropy or squared error.
+      if (options_.classification) {
+        double mx = *std::max_element(out.begin(), out.end());
+        double denom = 0;
+        for (size_t k = 0; k < out_dim_; ++k) {
+          out[k] = std::exp(out[k] - mx);
+          denom += out[k];
+        }
+        const size_t label = static_cast<size_t>(y[i]);
+        for (size_t k = 0; k < out_dim_; ++k) {
+          delta_out[k] = out[k] / denom - (k == label ? 1.0 : 0.0);
+        }
+      } else {
+        delta_out[0] = std::clamp(out[0] - y[i], -3.0, 3.0);
+      }
+
+      // Backprop into hidden layer.
+      std::fill(delta_hidden.begin(), delta_hidden.end(), 0.0);
+      for (size_t k = 0; k < out_dim_; ++k) {
+        double* wrow = w2_.RowPtr(k);
+        const double dk = delta_out[k];
+        for (size_t h = 0; h < hdim; ++h) {
+          if (hidden[h] > 0) delta_hidden[h] += dk * wrow[h];
+          wrow[h] -= lr_eff * (dk * hidden[h] + options_.l2 * wrow[h]);
+        }
+        b2_[k] -= lr_eff * dk;
+      }
+      for (size_t h = 0; h < hdim; ++h) {
+        if (hidden[h] <= 0) continue;  // ReLU gate (also skips dropped units)
+        double* wrow = w1_.RowPtr(h);
+        const double dh = delta_hidden[h];
+        for (size_t j = 0; j < in_dim_; ++j) {
+          wrow[j] -= lr_eff * (dh * row[j] + options_.l2 * wrow[j]);
+        }
+        b1_[h] -= lr_eff * dh;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MLP::FitMulti(const Matrix& x, const Matrix& y, Rng* rng) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("X and Y row counts differ");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  options_.classification = false;
+  in_dim_ = x.cols();
+  out_dim_ = y.cols();
+  const size_t hdim = options_.hidden_dim;
+
+  const double s1 =
+      std::sqrt(2.0 / static_cast<double>(std::max<size_t>(1, in_dim_)));
+  const double s2 = std::sqrt(1.0 / static_cast<double>(hdim));
+  w1_ = Matrix::GaussianRandom(hdim, in_dim_, rng, s1);
+  w2_ = Matrix::GaussianRandom(out_dim_, hdim, rng, s2);
+  b1_.assign(hdim, 0.0);
+  b2_.assign(out_dim_, 0.0);
+
+  const size_t n = x.rows();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<double> hidden(hdim);
+  std::vector<double> out(out_dim_);
+  std::vector<double> delta_hidden(hdim);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    const double lr = options_.learning_rate /
+                      (1.0 + 0.02 * static_cast<double>(epoch));
+    for (const size_t i : order) {
+      const double* row = x.RowPtr(i);
+      Forward(row, &hidden, &out);
+      std::fill(delta_hidden.begin(), delta_hidden.end(), 0.0);
+      for (size_t k = 0; k < out_dim_; ++k) {
+        const double dk = (out[k] - y(i, k)) / static_cast<double>(out_dim_);
+        double* wrow = w2_.RowPtr(k);
+        for (size_t h = 0; h < hdim; ++h) {
+          if (hidden[h] > 0) delta_hidden[h] += dk * wrow[h];
+          wrow[h] -= lr * (dk * hidden[h] + options_.l2 * wrow[h]);
+        }
+        b2_[k] -= lr * dk;
+      }
+      for (size_t h = 0; h < hdim; ++h) {
+        if (hidden[h] <= 0) continue;
+        double* wrow = w1_.RowPtr(h);
+        const double dh = delta_hidden[h];
+        for (size_t j = 0; j < in_dim_; ++j) {
+          wrow[j] -= lr * (dh * row[j] + options_.l2 * wrow[j]);
+        }
+        b1_[h] -= lr * dh;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Matrix MLP::PredictMulti(const Matrix& x) const {
+  Matrix result(x.rows(), out_dim_);
+  std::vector<double> hidden;
+  std::vector<double> out;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    Forward(x.RowPtr(i), &hidden, &out);
+    for (size_t k = 0; k < out_dim_; ++k) result(i, k) = out[k];
+  }
+  return result;
+}
+
+Matrix MLP::PredictProba(const Matrix& x) const {
+  Matrix proba(x.rows(), out_dim_);
+  std::vector<double> hidden;
+  std::vector<double> out;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    Forward(x.RowPtr(i), &hidden, &out);
+    double mx = *std::max_element(out.begin(), out.end());
+    double denom = 0;
+    for (size_t k = 0; k < out_dim_; ++k) {
+      out[k] = std::exp(out[k] - mx);
+      denom += out[k];
+    }
+    for (size_t k = 0; k < out_dim_; ++k) proba(i, k) = out[k] / denom;
+  }
+  return proba;
+}
+
+std::vector<double> MLP::Predict(const Matrix& x) const {
+  std::vector<double> result(x.rows(), 0.0);
+  std::vector<double> hidden;
+  std::vector<double> out;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    Forward(x.RowPtr(i), &hidden, &out);
+    if (options_.classification) {
+      size_t best = 0;
+      for (size_t k = 1; k < out_dim_; ++k) {
+        if (out[k] > out[best]) best = k;
+      }
+      result[i] = static_cast<double>(best);
+    } else {
+      result[i] = out[0] * y_std_ + y_mean_;
+    }
+  }
+  return result;
+}
+
+}  // namespace leva

@@ -1,0 +1,60 @@
+#ifndef LEVA_ML_MLP_H_
+#define LEVA_ML_MLP_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace leva {
+
+/// The paper's "2-layer fully connected neural network, hidden layer
+/// dimension of 64": one ReLU hidden layer, softmax (classification) or
+/// linear (regression) output, trained with minibatch SGD. `dropout` is the
+/// regularizer toggled by the deployment-strategy ablation (Table 6).
+struct MlpOptions {
+  bool classification = true;
+  size_t num_classes = 2;
+  size_t hidden_dim = 64;
+  double learning_rate = 0.01;
+  size_t epochs = 60;
+  size_t batch_size = 32;
+  double dropout = 0.0;  // probability of zeroing a hidden unit
+  double l2 = 0.0;
+};
+
+class MLP : public Model {
+ public:
+  explicit MLP(MlpOptions options = {}) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  /// Multi-output regression: fits X -> Y (rows x targets). Used by the
+  /// Fig. 3 study that learns the map between two embedding spaces.
+  Status FitMulti(const Matrix& x, const Matrix& y, Rng* rng);
+  Matrix PredictMulti(const Matrix& x) const;
+
+  /// Row-wise class probabilities (classification only).
+  Matrix PredictProba(const Matrix& x) const;
+
+ private:
+  // Forward pass to logits/outputs; hidden activations returned via *hidden.
+  void Forward(const double* row, std::vector<double>* hidden,
+               std::vector<double>* out) const;
+
+  MlpOptions options_;
+  size_t in_dim_ = 0;
+  size_t out_dim_ = 0;
+  // Regression targets are standardized internally for SGD stability;
+  // predictions are mapped back.
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  Matrix w1_;  // hidden x in
+  std::vector<double> b1_;
+  Matrix w2_;  // out x hidden
+  std::vector<double> b2_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_ML_MLP_H_

@@ -1,0 +1,29 @@
+#ifndef LEVA_ML_MODEL_H_
+#define LEVA_ML_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace leva {
+
+/// Interface for the downstream models of Section 6: random forest,
+/// linear/logistic regression with ElasticNet, and the 2-layer MLP.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Fits on X (rows x features) and targets y (class ids or values).
+  virtual Status Fit(const Matrix& x, const std::vector<double>& y,
+                     Rng* rng) = 0;
+
+  /// Per-row predictions: class ids for classifiers, values for regressors.
+  virtual std::vector<double> Predict(const Matrix& x) const = 0;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_ML_MODEL_H_

@@ -1,0 +1,280 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace leva {
+namespace {
+
+// Gini impurity from class counts.
+double Gini(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+double DecisionTree::LeafValue(const std::vector<double>& y,
+                               const std::vector<size_t>& rows, size_t begin,
+                               size_t end) const {
+  if (options_.classification) {
+    std::vector<size_t> counts(options_.num_classes, 0);
+    for (size_t i = begin; i < end; ++i) {
+      ++counts[static_cast<size_t>(y[rows[i]])];
+    }
+    size_t best = 0;
+    for (size_t k = 1; k < counts.size(); ++k) {
+      if (counts[k] > counts[best]) best = k;
+    }
+    return static_cast<double>(best);
+  }
+  double mean = 0;
+  for (size_t i = begin; i < end; ++i) mean += y[rows[i]];
+  return end > begin ? mean / static_cast<double>(end - begin) : 0.0;
+}
+
+int32_t DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+                                std::vector<size_t>* rows, size_t begin,
+                                size_t end, size_t depth, Rng* rng) {
+  const size_t n = end - begin;
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = LeafValue(y, *rows, begin, end);
+
+  if (n < options_.min_samples_split || depth >= options_.max_depth) {
+    return node_id;
+  }
+
+  // Parent impurity.
+  double parent_impurity;
+  std::vector<double> parent_counts;
+  double parent_sum = 0;
+  double parent_sum_sq = 0;
+  if (options_.classification) {
+    parent_counts.assign(options_.num_classes, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      parent_counts[static_cast<size_t>(y[(*rows)[i]])] += 1.0;
+    }
+    parent_impurity = Gini(parent_counts, static_cast<double>(n));
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      const double v = y[(*rows)[i]];
+      parent_sum += v;
+      parent_sum_sq += v * v;
+    }
+    const double mean = parent_sum / static_cast<double>(n);
+    parent_impurity = parent_sum_sq / static_cast<double>(n) - mean * mean;
+  }
+  if (parent_impurity <= 1e-12) return node_id;  // pure node
+
+  // Candidate features.
+  const size_t d = x.cols();
+  std::vector<size_t> features;
+  if (options_.max_features == 0 || options_.max_features >= d) {
+    features.resize(d);
+    for (size_t j = 0; j < d; ++j) features[j] = j;
+  } else {
+    // Sample without replacement via partial Fisher-Yates.
+    features.resize(d);
+    for (size_t j = 0; j < d; ++j) features[j] = j;
+    for (size_t j = 0; j < options_.max_features; ++j) {
+      const size_t k = j + rng->UniformInt(d - j);
+      std::swap(features[j], features[k]);
+    }
+    features.resize(options_.max_features);
+  }
+
+  // Best split search.
+  int32_t best_feature = -1;
+  double best_threshold = 0;
+  double best_gain = 1e-9;
+  std::vector<std::pair<double, double>> vals;  // (x, y)
+  vals.reserve(n);
+  for (const size_t f : features) {
+    vals.clear();
+    for (size_t i = begin; i < end; ++i) {
+      vals.emplace_back(x((*rows)[i], f), y[(*rows)[i]]);
+    }
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;
+
+    if (options_.classification) {
+      std::vector<double> left_counts(options_.num_classes, 0.0);
+      std::vector<double> right_counts = parent_counts;
+      for (size_t i = 0; i + 1 < n; ++i) {
+        const size_t cls = static_cast<size_t>(vals[i].second);
+        left_counts[cls] += 1.0;
+        right_counts[cls] -= 1.0;
+        if (vals[i].first == vals[i + 1].first) continue;
+        const double nl = static_cast<double>(i + 1);
+        const double nr = static_cast<double>(n - i - 1);
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+          continue;
+        }
+        const double impurity =
+            (nl * Gini(left_counts, nl) + nr * Gini(right_counts, nr)) /
+            static_cast<double>(n);
+        const double gain = parent_impurity - impurity;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int32_t>(f);
+          best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+        }
+      }
+    } else {
+      double left_sum = 0;
+      double left_sum_sq = 0;
+      for (size_t i = 0; i + 1 < n; ++i) {
+        left_sum += vals[i].second;
+        left_sum_sq += vals[i].second * vals[i].second;
+        if (vals[i].first == vals[i + 1].first) continue;
+        const double nl = static_cast<double>(i + 1);
+        const double nr = static_cast<double>(n - i - 1);
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = parent_sum - left_sum;
+        const double right_sum_sq = parent_sum_sq - left_sum_sq;
+        const double var_l = left_sum_sq / nl - (left_sum / nl) * (left_sum / nl);
+        const double var_r =
+            right_sum_sq / nr - (right_sum / nr) * (right_sum / nr);
+        const double impurity = (nl * var_l + nr * var_r) / static_cast<double>(n);
+        const double gain = parent_impurity - impurity;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int32_t>(f);
+          best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+        }
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition rows in place.
+  const auto mid_it = std::partition(
+      rows->begin() + static_cast<ptrdiff_t>(begin),
+      rows->begin() + static_cast<ptrdiff_t>(end), [&](size_t r) {
+        return x(r, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - rows->begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  importances_[static_cast<size_t>(best_feature)] +=
+      best_gain * static_cast<double>(n);
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int32_t left = BuildNode(x, y, rows, begin, mid, depth + 1, rng);
+  nodes_[node_id].left = left;
+  const int32_t right = BuildNode(x, y, rows, mid, end, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                         Rng* rng) {
+  std::vector<size_t> rows(x.rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return FitRows(x, y, std::move(rows), rng);
+}
+
+Status DecisionTree::FitRows(const Matrix& x, const std::vector<double>& y,
+                             std::vector<size_t> rows, Rng* rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("X rows and y size differ");
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  nodes_.clear();
+  importances_.assign(x.cols(), 0.0);
+  BuildNode(x, y, &rows, 0, rows.size(), 0, rng);
+  return Status::OK();
+}
+
+double DecisionTree::PredictRow(const double* row) const {
+  int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::vector<double> DecisionTree::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = PredictRow(x.RowPtr(i));
+  return out;
+}
+
+Status RandomForest::Fit(const Matrix& x, const std::vector<double>& y,
+                         Rng* rng) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  num_features_ = x.cols();
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = static_cast<size_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(x.cols()))));
+  }
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> rows(x.rows());
+    if (options_.bootstrap) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = rng->UniformInt(x.rows());
+      }
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    }
+    DecisionTree tree(tree_options);
+    LEVA_RETURN_IF_ERROR(tree.FitRows(x, y, std::move(rows), rng));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForest::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows(), 0.0);
+  if (trees_.empty()) return out;
+  if (options_.tree.classification) {
+    std::vector<double> votes(options_.tree.num_classes);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      std::fill(votes.begin(), votes.end(), 0.0);
+      for (const DecisionTree& tree : trees_) {
+        ++votes[static_cast<size_t>(tree.PredictRow(x.RowPtr(i)))];
+      }
+      size_t best = 0;
+      for (size_t k = 1; k < votes.size(); ++k) {
+        if (votes[k] > votes[best]) best = k;
+      }
+      out[i] = static_cast<double>(best);
+    }
+  } else {
+    for (size_t i = 0; i < x.rows(); ++i) {
+      double sum = 0;
+      for (const DecisionTree& tree : trees_) sum += tree.PredictRow(x.RowPtr(i));
+      out[i] = sum / static_cast<double>(trees_.size());
+    }
+  }
+  return out;
+}
+
+std::vector<double> RandomForest::FeatureImportances() const {
+  std::vector<double> imp(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto& t = tree.feature_importances();
+    for (size_t j = 0; j < imp.size() && j < t.size(); ++j) imp[j] += t[j];
+  }
+  double total = 0;
+  for (double v : imp) total += v;
+  if (total > 0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+}  // namespace leva

@@ -1,0 +1,88 @@
+#ifndef LEVA_ML_TREE_H_
+#define LEVA_ML_TREE_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace leva {
+
+/// CART decision-tree parameters. `min_samples_leaf` is the regularization
+/// knob the deployment-strategy ablation (Table 6) exercises for forests.
+struct TreeOptions {
+  bool classification = true;
+  size_t num_classes = 2;
+  size_t max_depth = 12;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  /// Features examined per split; 0 = all (single trees), forests default to
+  /// sqrt(d).
+  size_t max_features = 0;
+};
+
+/// A CART tree: Gini impurity for classification, variance for regression.
+class DecisionTree : public Model {
+ public:
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) override;
+  /// Fits on the subset `rows` (supports bootstrap sampling by the forest).
+  Status FitRows(const Matrix& x, const std::vector<double>& y,
+                 std::vector<size_t> rows, Rng* rng);
+
+  std::vector<double> Predict(const Matrix& x) const override;
+  double PredictRow(const double* row) const;
+
+  /// Total impurity decrease contributed by each feature during Fit.
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+ private:
+  struct Node {
+    int32_t feature = -1;       // -1 for leaves
+    double threshold = 0.0;     // go left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;         // majority class / mean for leaves
+  };
+
+  int32_t BuildNode(const Matrix& x, const std::vector<double>& y,
+                    std::vector<size_t>* rows, size_t begin, size_t end,
+                    size_t depth, Rng* rng);
+  double LeafValue(const std::vector<double>& y,
+                   const std::vector<size_t>& rows, size_t begin,
+                   size_t end) const;
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+};
+
+/// Bagged ensemble of CART trees with per-split feature subsampling.
+struct ForestOptions {
+  size_t num_trees = 50;
+  bool bootstrap = true;
+  TreeOptions tree;
+};
+
+class RandomForest : public Model {
+ public:
+  explicit RandomForest(ForestOptions options = {}) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  /// Mean impurity-decrease importances, normalized to sum 1. Drives the
+  /// Full+FE feature-selection baseline.
+  std::vector<double> FeatureImportances() const;
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_ML_TREE_H_

@@ -1,0 +1,235 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace leva {
+namespace {
+
+// Parses one CSV record starting at *pos; supports RFC-4180 quoting.
+// Advances *pos past the record's trailing newline. Returns false at EOF.
+bool ParseRecord(std::string_view content, size_t* pos, char delimiter,
+                 std::vector<std::string>* fields) {
+  fields->clear();
+  if (*pos >= content.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  while (i < content.size()) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      ++i;
+      if (c == '\r' && i < content.size() && content[i] == '\n') ++i;
+      break;
+    } else {
+      field += c;
+      ++i;
+    }
+  }
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+// Infers a column type from raw string fields and converts them to Values.
+Column InferColumn(const std::string& name,
+                   const std::vector<std::string>& raw) {
+  Column col;
+  col.name = name;
+  bool all_int = true;
+  bool all_double = true;
+  bool all_datetime = true;
+  bool any_value = false;
+  for (const std::string& s : raw) {
+    if (LooksLikeMissingToken(s)) continue;
+    any_value = true;
+    if (!ParseInt(s).has_value()) all_int = false;
+    if (!ParseDouble(s).has_value()) all_double = false;
+    if (!ParseIsoDatetime(s).has_value()) all_datetime = false;
+    if (!all_int && !all_double && !all_datetime) break;
+  }
+  if (!any_value) {
+    col.type = DataType::kString;
+    for (size_t i = 0; i < raw.size(); ++i) col.values.emplace_back();
+    return col;
+  }
+  if (all_datetime && !all_int && !all_double) {
+    // ISO dates/datetimes become epoch-second kDatetime values, which the
+    // textifier bins like numerics.
+    col.type = DataType::kDatetime;
+    for (const std::string& s : raw) {
+      auto v = LooksLikeMissingToken(s) ? std::nullopt : ParseIsoDatetime(s);
+      col.values.push_back(v ? Value(*v) : Value::Null());
+    }
+  } else if (all_int) {
+    col.type = DataType::kInt;
+    for (const std::string& s : raw) {
+      auto v = LooksLikeMissingToken(s) ? std::nullopt : ParseInt(s);
+      col.values.push_back(v ? Value(*v) : Value::Null());
+    }
+  } else if (all_double) {
+    col.type = DataType::kDouble;
+    for (const std::string& s : raw) {
+      auto v = LooksLikeMissingToken(s) ? std::nullopt : ParseDouble(s);
+      col.values.push_back(v ? Value(*v) : Value::Null());
+    }
+  } else {
+    col.type = DataType::kString;
+    for (const std::string& s : raw) {
+      // Strings are preserved verbatim (including missing-looking tokens):
+      // the graph-refinement voting is responsible for dirty data.
+      col.values.push_back(Value(s));
+    }
+  }
+  return col;
+}
+
+std::string EscapeField(const std::string& s, char delimiter) {
+  const bool needs_quotes = s.find(delimiter) != std::string::npos ||
+                            s.find('"') != std::string::npos ||
+                            s.find('\n') != std::string::npos ||
+                            s.find('\r') != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view content,
+                            const std::string& table_name,
+                            const CsvOptions& options) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  std::vector<std::string> header;
+  if (options.has_header) {
+    if (!ParseRecord(content, &pos, options.delimiter, &header)) {
+      return Status::InvalidArgument("empty CSV input for table '" +
+                                     table_name + "'");
+    }
+  }
+  std::vector<std::vector<std::string>> raw_columns;
+  size_t row_count = 0;
+  while (ParseRecord(content, &pos, options.delimiter, &fields)) {
+    if (fields.size() == 1 && fields[0].empty() && pos >= content.size()) {
+      break;  // trailing newline
+    }
+    if (raw_columns.empty()) raw_columns.resize(fields.size());
+    if (fields.size() != raw_columns.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row_count) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(raw_columns.size()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      raw_columns[i].push_back(std::move(fields[i]));
+    }
+    ++row_count;
+  }
+  if (header.empty()) {
+    for (size_t i = 0; i < raw_columns.size(); ++i) {
+      header.push_back("col" + std::to_string(i));
+    }
+  }
+  if (!raw_columns.empty() && header.size() != raw_columns.size()) {
+    return Status::InvalidArgument("header has " +
+                                   std::to_string(header.size()) +
+                                   " fields but rows have " +
+                                   std::to_string(raw_columns.size()));
+  }
+  Table table(table_name);
+  for (size_t i = 0; i < raw_columns.size(); ++i) {
+    Column col;
+    if (options.infer_types) {
+      col = InferColumn(header[i], raw_columns[i]);
+    } else {
+      col.name = header[i];
+      col.type = DataType::kString;
+      for (const std::string& s : raw_columns[i]) col.values.push_back(Value(s));
+    }
+    LEVA_RETURN_IF_ERROR(table.AddColumn(std::move(col)));
+  }
+  // Header-only input: create empty string columns.
+  if (raw_columns.empty()) {
+    for (const std::string& name : header) {
+      Column col;
+      col.name = name;
+      col.type = DataType::kString;
+      LEVA_RETURN_IF_ERROR(table.AddColumn(std::move(col)));
+    }
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const std::string& table_name,
+                          const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ReadCsvString(ss.str(), table_name, options);
+}
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out += delimiter;
+    out += EscapeField(table.column(c).name, delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out += delimiter;
+      const Value& v = table.at(r, c);
+      // Datetime columns round-trip through their ISO representation so a
+      // re-read infers kDatetime again.
+      if (table.column(c).type == DataType::kDatetime && v.is_int()) {
+        out += EscapeField(FormatIsoDatetime(v.as_int()), delimiter);
+      } else {
+        out += EscapeField(v.ToDisplayString(), delimiter);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table, delimiter);
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace leva

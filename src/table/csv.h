@@ -1,0 +1,41 @@
+#ifndef LEVA_TABLE_CSV_H_
+#define LEVA_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace leva {
+
+/// CSV parsing options. Leva's CSV reader supports quoted fields, embedded
+/// commas/newlines inside quotes, and type inference per column.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// When true, columns whose non-null values all parse as numbers become
+  /// kInt/kDouble, and missing-looking tokens become nulls.
+  bool infer_types = true;
+};
+
+/// Parses CSV `content` into a table named `table_name`.
+Result<Table> ReadCsvString(std::string_view content,
+                            const std::string& table_name,
+                            const CsvOptions& options = {});
+
+/// Reads a CSV file from `path`.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const std::string& table_name,
+                          const CsvOptions& options = {});
+
+/// Serializes `table` to CSV with a header row.
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes `table` to `path`.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace leva
+
+#endif  // LEVA_TABLE_CSV_H_

@@ -1,0 +1,76 @@
+#include "text/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leva {
+
+double Kurtosis(const std::vector<double>& values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0;
+  double m4 = 0;
+  for (double v : values) {
+    const double d = v - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  if (m2 <= 0) return 0.0;
+  return m4 / (m2 * m2);
+}
+
+Histogram Histogram::Fit(const std::vector<double>& values, size_t num_bins,
+                         HistogramType type) {
+  Histogram h;
+  h.type_ = type;
+  if (values.empty() || num_bins <= 1) return h;
+
+  if (type == HistogramType::kEquiWidth) {
+    const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+    const double mn = *mn_it;
+    const double mx = *mx_it;
+    if (mx <= mn) return h;  // constant column: one bin
+    const double width = (mx - mn) / static_cast<double>(num_bins);
+    h.edges_.reserve(num_bins - 1);
+    for (size_t i = 1; i < num_bins; ++i) {
+      h.edges_.push_back(mn + width * static_cast<double>(i));
+    }
+  } else {
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    h.edges_.reserve(num_bins - 1);
+    for (size_t i = 1; i < num_bins; ++i) {
+      const double q = static_cast<double>(i) / static_cast<double>(num_bins);
+      const size_t idx = std::min(
+          sorted.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(sorted.size())));
+      const double edge = sorted[idx];
+      // Collapse duplicate quantiles so bins stay strictly increasing.
+      if (h.edges_.empty() || edge > h.edges_.back()) {
+        h.edges_.push_back(edge);
+      }
+    }
+  }
+  return h;
+}
+
+Histogram Histogram::FitAuto(const std::vector<double>& values,
+                             size_t num_bins) {
+  const HistogramType type = Kurtosis(values) > kHeavyTailKurtosis
+                                 ? HistogramType::kEquiDepth
+                                 : HistogramType::kEquiWidth;
+  return Fit(values, num_bins, type);
+}
+
+size_t Histogram::BinOf(double v) const {
+  // First edge >= v; values above the last edge land in the last bin.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  return static_cast<size_t>(it - edges_.begin());
+}
+
+}  // namespace leva

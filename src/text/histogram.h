@@ -1,0 +1,57 @@
+#ifndef LEVA_TEXT_HISTOGRAM_H_
+#define LEVA_TEXT_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace leva {
+
+/// Histogram flavor used to quantize a numeric column (Section 4.1).
+enum class HistogramType {
+  kEquiWidth,  ///< equal-width bins over [min, max]
+  kEquiDepth,  ///< quantile bins; robust to heavy tails / outliers
+};
+
+/// Sample excess-free kurtosis (fourth standardized moment). A normal
+/// distribution has kurtosis 3; Leva treats kurtosis above
+/// `kHeavyTailKurtosis` as heavy-tailed and switches to equi-depth bins.
+double Kurtosis(const std::vector<double>& values);
+
+inline constexpr double kHeavyTailKurtosis = 3.0;
+
+/// A fitted 1-D histogram that maps numeric values to bin ids in
+/// [0, num_bins). Out-of-range values (e.g. unseen test data) clamp to the
+/// first/last bin, which implements the paper's "binning quantization"
+/// treatment of unseen numeric data.
+class Histogram {
+ public:
+  /// Fits a histogram of (up to) `num_bins` bins over `values`. Duplicate
+  /// quantiles in equi-depth mode collapse, so the effective bin count can be
+  /// smaller. `values` may be unsorted; an empty input produces a single
+  /// degenerate bin.
+  static Histogram Fit(const std::vector<double>& values, size_t num_bins,
+                       HistogramType type);
+
+  /// Fits choosing the type from the data: equi-depth when kurtosis exceeds
+  /// kHeavyTailKurtosis (heavy tail), equi-width otherwise.
+  static Histogram FitAuto(const std::vector<double>& values, size_t num_bins);
+
+  /// Bin id for `v`, clamped into range.
+  size_t BinOf(double v) const;
+
+  size_t num_bins() const { return edges_.size() + 1; }
+  HistogramType type() const { return type_; }
+  /// Interior bin edges (ascending); bin i covers (edges[i-1], edges[i]].
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// Default: a single degenerate bin (everything maps to bin 0).
+  Histogram() = default;
+
+ private:
+  HistogramType type_ = HistogramType::kEquiWidth;
+  std::vector<double> edges_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_TEXT_HISTOGRAM_H_

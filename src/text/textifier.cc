@@ -1,0 +1,216 @@
+#include "text/textifier.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace leva {
+namespace {
+
+// True when the column holds doubles with fractional parts, which disqualifies
+// it as a Key (heuristic ii of Section 4.1).
+bool IsFloatingColumn(const Column& col) {
+  if (col.type != DataType::kDouble) return false;
+  for (const Value& v : col.values) {
+    if (v.is_double()) {
+      const double d = v.as_double();
+      if (std::isfinite(d) && d != std::floor(d)) return true;
+    }
+  }
+  return false;
+}
+
+// Separator detection for formatted-list strings: returns the separator and
+// the fraction of non-null values containing it.
+std::pair<char, double> DetectListSeparator(const Column& col) {
+  // Space is a valid separator too: multi-word strings textify word-by-word,
+  // the same cell granularity EmbDI uses.
+  const char candidates[] = {',', ';', '|', ' '};
+  constexpr size_t kNumCandidates = sizeof(candidates);
+  char best = ',';
+  size_t best_hits = 0;
+  size_t non_null = 0;
+  size_t hits_by[kNumCandidates] = {0};
+  for (const Value& v : col.values) {
+    if (!v.is_string()) continue;
+    ++non_null;
+    const std::string& s = v.as_string();
+    for (size_t i = 0; i < kNumCandidates; ++i) {
+      if (s.find(candidates[i]) != std::string::npos) ++hits_by[i];
+    }
+  }
+  for (size_t i = 0; i < kNumCandidates; ++i) {
+    if (hits_by[i] > best_hits) {
+      best_hits = hits_by[i];
+      best = candidates[i];
+    }
+  }
+  const double ratio =
+      non_null == 0 ? 0.0
+                    : static_cast<double>(best_hits) / static_cast<double>(non_null);
+  return {best, ratio};
+}
+
+}  // namespace
+
+std::string ColumnClassName(ColumnClass c) {
+  switch (c) {
+    case ColumnClass::kKey:
+      return "key";
+    case ColumnClass::kNumeric:
+      return "numeric";
+    case ColumnClass::kDatetime:
+      return "datetime";
+    case ColumnClass::kStringAtomic:
+      return "string";
+    case ColumnClass::kStringList:
+      return "string_list";
+  }
+  return "unknown";
+}
+
+Status Textifier::Fit(const Database& db) {
+  columns_.clear();
+  attr_names_.clear();
+  for (const Table& table : db.tables()) {
+    for (const Column& col : table.columns()) {
+      const std::string qualified = table.name() + "." + col.name;
+      ColumnState state;
+      state.attr_id = static_cast<uint32_t>(attr_names_.size());
+      attr_names_.push_back(qualified);
+
+      const bool is_float = IsFloatingColumn(col);
+      const bool near_unique = col.DistinctRatio() >= options_.key_distinct_ratio;
+      if (col.type == DataType::kDatetime) {
+        // Datetimes are binned regardless of uniqueness (Section 4.1):
+        // encoding raw timestamps directly would explode cardinality and
+        // lose temporal distance.
+        state.cls = ColumnClass::kDatetime;
+      } else if (near_unique && !is_float) {
+        state.cls = ColumnClass::kKey;
+      } else if (col.type == DataType::kInt || col.type == DataType::kDouble) {
+        state.cls = ColumnClass::kNumeric;
+      } else {
+        const auto [sep, ratio] = DetectListSeparator(col);
+        if (ratio >= options_.list_detect_ratio) {
+          state.cls = ColumnClass::kStringList;
+          state.list_separator = sep;
+        } else {
+          state.cls = ColumnClass::kStringAtomic;
+        }
+      }
+
+      if (state.cls == ColumnClass::kNumeric ||
+          state.cls == ColumnClass::kDatetime) {
+        std::vector<double> numeric;
+        numeric.reserve(col.size());
+        for (const Value& v : col.values) {
+          if (v.is_numeric()) numeric.push_back(v.ToNumeric());
+        }
+        state.histogram =
+            options_.force_histogram_type
+                ? Histogram::Fit(numeric, options_.bin_count, options_.forced_type)
+                : Histogram::FitAuto(numeric, options_.bin_count);
+      }
+      columns_.emplace(qualified, std::move(state));
+    }
+  }
+  return Status::OK();
+}
+
+const Textifier::ColumnState* Textifier::FindState(
+    const std::string& table_name, const std::string& column_name) const {
+  const auto it = columns_.find(table_name + "." + column_name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+void Textifier::EmitTokens(const ColumnState& state, const Value& value,
+                           std::vector<TextToken>* out) const {
+  if (value.is_null()) return;  // true nulls never emit tokens
+  switch (state.cls) {
+    case ColumnClass::kNumeric:
+    case ColumnClass::kDatetime: {
+      if (!value.is_numeric()) {
+        // Dirty cell in a numeric column (e.g. a stray "?"): emit the raw
+        // token and let the voting refinement deal with it.
+        const std::string raw(Trim(value.ToDisplayString()));
+        if (!raw.empty()) out->push_back({state.attr_id, raw});
+        return;
+      }
+      const size_t bin = state.histogram.BinOf(value.ToNumeric());
+      // Token is "<attribute>#bin<k>": numeric tokens are attribute-scoped so
+      // different attributes never collide on bin ids, but the same attribute
+      // appearing in several tables (a denormalized copy) still links up.
+      const std::string& qualified = attr_names_[state.attr_id];
+      const size_t dot = qualified.find('.');
+      const std::string attr = qualified.substr(dot + 1);
+      out->push_back({state.attr_id, attr + "#bin" + std::to_string(bin)});
+      return;
+    }
+    case ColumnClass::kKey:
+    case ColumnClass::kStringAtomic: {
+      const std::string raw(Trim(value.ToDisplayString()));
+      if (!raw.empty()) out->push_back({state.attr_id, raw});
+      return;
+    }
+    case ColumnClass::kStringList: {
+      const std::string raw = value.ToDisplayString();
+      for (const std::string& part : Split(raw, state.list_separator)) {
+        const std::string elem(Trim(part));
+        if (!elem.empty()) out->push_back({state.attr_id, elem});
+      }
+      return;
+    }
+  }
+}
+
+Result<TextifiedTable> Textifier::Transform(const Table& table) const {
+  TextifiedTable out;
+  out.table_name = table.name();
+  out.rows.resize(table.NumRows());
+
+  std::vector<const ColumnState*> states;
+  states.reserve(table.NumColumns());
+  for (const Column& col : table.columns()) {
+    const ColumnState* state = FindState(table.name(), col.name);
+    if (state == nullptr) {
+      return Status::NotFound("column '" + table.name() + "." + col.name +
+                              "' was not fitted");
+    }
+    states.push_back(state);
+  }
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      EmitTokens(*states[c], table.at(r, c), &out.rows[r]);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Textifier::TransformCell(
+    const std::string& table_name, const std::string& column_name,
+    const Value& value) const {
+  const ColumnState* state = FindState(table_name, column_name);
+  if (state == nullptr) {
+    return Status::NotFound("column '" + table_name + "." + column_name +
+                            "' was not fitted");
+  }
+  std::vector<TextToken> tokens;
+  EmitTokens(*state, value, &tokens);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (TextToken& t : tokens) out.push_back(std::move(t.token));
+  return out;
+}
+
+Result<ColumnClass> Textifier::ClassOf(const std::string& table_name,
+                                       const std::string& column_name) const {
+  const ColumnState* state = FindState(table_name, column_name);
+  if (state == nullptr) {
+    return Status::NotFound("column '" + table_name + "." + column_name +
+                            "' was not fitted");
+  }
+  return state->cls;
+}
+
+}  // namespace leva

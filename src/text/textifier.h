@@ -1,0 +1,108 @@
+#ifndef LEVA_TEXT_TEXTIFIER_H_
+#define LEVA_TEXT_TEXTIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "text/histogram.h"
+
+namespace leva {
+
+/// Textification strategy chosen per column (Section 4.1).
+enum class ColumnClass {
+  kKey,          ///< near-unique non-float column; values encoded directly
+  kNumeric,      ///< binned via histogram; token = "<attr>#bin<k>"
+  kDatetime,     ///< binned like numeric (epoch seconds)
+  kStringAtomic, ///< value encoded directly
+  kStringList,   ///< comma/semicolon-separated list; each element a token
+};
+
+std::string ColumnClassName(ColumnClass c);
+
+/// Tunable textification parameters (Table 2).
+struct TextifyOptions {
+  /// Number of histogram bins for numeric/datetime columns.
+  size_t bin_count = 50;
+  /// When set, overrides the kurtosis-based histogram selection.
+  bool force_histogram_type = false;
+  HistogramType forced_type = HistogramType::kEquiWidth;
+  /// Distinct/total ratio above which a non-float column is a Key.
+  double key_distinct_ratio = 0.95;
+  /// Fraction of non-null string values that must contain a separator for a
+  /// column to be parsed as a formatted list.
+  double list_detect_ratio = 0.5;
+};
+
+/// One textified cell: zero (null) or more (list) string tokens tagged with
+/// the global attribute id they came from.
+struct TextToken {
+  uint32_t attr_id = 0;
+  std::string token;
+};
+
+/// A textified table: per row, the emitted tokens.
+struct TextifiedTable {
+  std::string table_name;
+  std::vector<std::vector<TextToken>> rows;
+};
+
+/// The textification module. `Fit` scans a database, classifies every column
+/// and fits histograms; `Transform` converts (possibly unseen) tables into
+/// token streams using the fitted state, which implements the paper's
+/// bin-quantization handling of unseen numeric test data.
+class Textifier {
+ public:
+  explicit Textifier(TextifyOptions options = {}) : options_(options) {}
+
+  /// Classifies each column of each table and fits numeric histograms.
+  Status Fit(const Database& db);
+
+  /// Textifies `table`. Columns are matched by (table name, column name); a
+  /// table/column not seen at Fit time is an error.
+  Result<TextifiedTable> Transform(const Table& table) const;
+
+  /// Textifies a single cell of a fitted column. Used at inference time.
+  Result<std::vector<std::string>> TransformCell(
+      const std::string& table_name, const std::string& column_name,
+      const Value& value) const;
+
+  /// Total number of distinct attributes registered at Fit time.
+  size_t NumAttributes() const { return attr_names_.size(); }
+  /// Qualified "<table>.<column>" name for `attr_id`.
+  const std::string& AttributeName(uint32_t attr_id) const {
+    return attr_names_[attr_id];
+  }
+  /// Fitted class for a column; error if unknown.
+  Result<ColumnClass> ClassOf(const std::string& table_name,
+                              const std::string& column_name) const;
+
+  const TextifyOptions& options() const { return options_; }
+
+ private:
+  struct ColumnState {
+    uint32_t attr_id = 0;
+    ColumnClass cls = ColumnClass::kStringAtomic;
+    Histogram histogram;      // fitted for kNumeric / kDatetime
+    char list_separator = ','; // for kStringList
+  };
+
+  // Emits the tokens of `value` under `state` into `out`.
+  void EmitTokens(const ColumnState& state, const Value& value,
+                  std::vector<TextToken>* out) const;
+
+  const ColumnState* FindState(const std::string& table_name,
+                               const std::string& column_name) const;
+
+  TextifyOptions options_;
+  // Keyed by "<table>.<column>".
+  std::unordered_map<std::string, ColumnState> columns_;
+  std::vector<std::string> attr_names_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_TEXT_TEXTIFIER_H_

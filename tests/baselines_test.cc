@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "baselines/corpus_models.h"
+#include "baselines/discovery.h"
+#include "baselines/graph_models.h"
+#include "baselines/leva_model.h"
+#include "baselines/tabular.h"
+#include "datagen/synthetic.h"
+#include "ml/featurize.h"
+
+namespace leva {
+namespace {
+
+SyntheticDataset SmallTask() {
+  SyntheticConfig c;
+  c.base_rows = 250;
+  c.classification = true;
+  c.num_classes = 2;
+  c.dims = {
+      {.name = "dim", .rows = 50, .predictive_numeric = 1,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 1, .categories = 6, .parent = ""},
+  };
+  c.seed = 4;
+  auto ds = GenerateSynthetic(c);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(DiscoveryTest, FindsTrueFkJoin) {
+  const SyntheticDataset ds = SmallTask();
+  const auto joins = DiscoverJoins(ds.db, "base");
+  ASSERT_TRUE(joins.ok());
+  bool found = false;
+  for (const DiscoveredJoin& j : *joins) {
+    if (j.base_column == "fk_dim" && j.other_table == "dim" &&
+        j.other_column == "dim_id") {
+      found = true;
+      EXPECT_GT(j.containment, 0.95);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DiscoveryTest, RespectsContainmentThreshold) {
+  const SyntheticDataset ds = SmallTask();
+  DiscoveryOptions strict;
+  strict.containment_threshold = 1.01;  // impossible
+  const auto joins = DiscoverJoins(ds.db, "base", strict);
+  ASSERT_TRUE(joins.ok());
+  EXPECT_TRUE(joins->empty());
+}
+
+TEST(DiscoveryTest, MaterializeAddsDiscoveredColumns) {
+  const SyntheticDataset ds = SmallTask();
+  const auto table = MaterializeDiscoveredTable(ds.db, "base");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 250u);
+  EXPECT_NE(table->FindColumn("dim.dim_pnum0"), nullptr);
+}
+
+TEST(DiscoveryTest, UnknownBaseFails) {
+  const SyntheticDataset ds = SmallTask();
+  EXPECT_FALSE(DiscoverJoins(ds.db, "nope").ok());
+}
+
+TEST(TabularTest, MaterializeAllKinds) {
+  const SyntheticDataset ds = SmallTask();
+  for (const TabularBaseline kind :
+       {TabularBaseline::kBase, TabularBaseline::kFull,
+        TabularBaseline::kDisc}) {
+    const auto result =
+        MaterializeBaselineTable(ds.db, "base", "target", kind);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->first.NumRows(), 250u);
+    EXPECT_NE(result->first.FindColumn(result->second), nullptr);
+  }
+}
+
+TEST(TabularTest, FullIncludesDimColumnsBaseDoesNot) {
+  const SyntheticDataset ds = SmallTask();
+  const auto base =
+      MaterializeBaselineTable(ds.db, "base", "target", TabularBaseline::kBase);
+  const auto full =
+      MaterializeBaselineTable(ds.db, "base", "target", TabularBaseline::kFull);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(base->first.FindColumn("dim.dim_pnum0"), nullptr);
+  EXPECT_NE(full->first.FindColumn("dim.dim_pnum0"), nullptr);
+}
+
+TEST(TabularTest, BuildDatasetsSplitsAndSelects) {
+  const SyntheticDataset ds = SmallTask();
+  const auto full =
+      MaterializeBaselineTable(ds.db, "base", "target", TabularBaseline::kFull);
+  ASSERT_TRUE(full.ok());
+  std::vector<size_t> train_rows;
+  std::vector<size_t> test_rows;
+  for (size_t r = 0; r < 250; ++r) (r < 200 ? train_rows : test_rows).push_back(r);
+  Rng rng(1);
+  const auto datasets = BuildTabularDatasets(
+      full->first, full->second, true, train_rows, test_rows, 5, &rng);
+  ASSERT_TRUE(datasets.ok());
+  EXPECT_EQ(datasets->first.NumRows(), 200u);
+  EXPECT_EQ(datasets->second.NumRows(), 50u);
+  EXPECT_EQ(datasets->first.NumFeatures(), 5u);
+  EXPECT_EQ(datasets->second.NumFeatures(), 5u);
+}
+
+Word2VecOptions FastW2v() {
+  Word2VecOptions w;
+  w.dim = 8;
+  w.epochs = 1;
+  return w;
+}
+
+TEST(CorpusModelsTest, DirectWord2VecFitsAndFeaturizes) {
+  const SyntheticDataset ds = SmallTask();
+  DirectWord2VecModel model(FastW2v(), {}, 3);
+  ASSERT_TRUE(model.Fit(ds.db).ok());
+  EXPECT_GT(model.embedding().size(), 0u);
+  const Table* base = ds.db.FindTable("base");
+  const auto vec = model.RowVector(*base, 0, "target", true);
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(vec->size(), 8u);
+}
+
+TEST(CorpusModelsTest, DeeperWeightsDiffer) {
+  const SyntheticDataset ds = SmallTask();
+  DirectWord2VecModel direct(FastW2v(), {}, 3);
+  DeeperModel deeper(FastW2v(), {}, 3);
+  ASSERT_TRUE(direct.Fit(ds.db).ok());
+  ASSERT_TRUE(deeper.Fit(ds.db).ok());
+  const Table* base = ds.db.FindTable("base");
+  const auto v1 = direct.RowVector(*base, 0, "target", true);
+  const auto v2 = deeper.RowVector(*base, 0, "target", true);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  // IDF weighting must change the composition.
+  EXPECT_NE(*v1, *v2);
+}
+
+TEST(GraphModelsTest, Node2VecBuildsUnrefinedGraph) {
+  const SyntheticDataset ds = SmallTask();
+  Node2VecModel model(1.0, 0.5, FastW2v(), {}, 3);
+  ASSERT_TRUE(model.Fit(ds.db).ok());
+  // Unrefined: no missing-data removal happened.
+  EXPECT_EQ(model.graph().stats().tokens_removed_missing, 0u);
+  const Table* base = ds.db.FindTable("base");
+  const auto vec = model.RowVector(*base, 5, "target", true);
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(vec->size(), 8u);
+}
+
+TEST(GraphModelsTest, EmbdiTripartiteHasColumnNodes) {
+  const SyntheticDataset ds = SmallTask();
+  EmbdiModel model(false, FastW2v(), {}, 3);
+  ASSERT_TRUE(model.Fit(ds.db).ok());
+  // Column nodes exist: labeled "__col__<attr id>".
+  EXPECT_TRUE(model.embedding().Has("__col__0"));
+}
+
+TEST(GraphModelsTest, EmbdiNormalizationMergesCaseVariants) {
+  // Two tables with case-differing tokens: F merges them, S keeps them apart.
+  Database db;
+  for (const std::string name : {"a", "b"}) {
+    Table t(name);
+    Column c;
+    c.name = "val";
+    c.type = DataType::kString;
+    for (int i = 0; i < 20; ++i) {
+      c.values.push_back(Value(name == "a" ? "Widget" : "widget"));
+    }
+    ASSERT_TRUE(t.AddColumn(c).ok());
+    ASSERT_TRUE(db.AddTable(t).ok());
+  }
+  EmbdiModel normalized(true, FastW2v(), {}, 3);
+  ASSERT_TRUE(normalized.Fit(db).ok());
+  EXPECT_TRUE(normalized.embedding().Has("widget"));
+  EXPECT_FALSE(normalized.embedding().Has("Widget"));
+
+  EmbdiModel raw(false, FastW2v(), {}, 3);
+  ASSERT_TRUE(raw.Fit(db).ok());
+  EXPECT_TRUE(raw.embedding().Has("Widget"));
+}
+
+TEST(LevaModelTest, AdapterMatchesPipeline) {
+  const SyntheticDataset ds = SmallTask();
+  LevaConfig config;
+  config.embedding_dim = 8;
+  config.method = EmbeddingMethod::kMatrixFactorization;
+  LevaModel model(config);
+  ASSERT_TRUE(model.Fit(ds.db).ok());
+  EXPECT_EQ(model.dim(), 16u);  // Row + Value
+  const Table* base = ds.db.FindTable("base");
+  TargetEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(*base->FindColumn("target"), true).ok());
+  const auto features =
+      FeaturizeWithModel(model, *base, "target", encoder, true);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->NumFeatures(), 16u);
+  EXPECT_EQ(features->NumRows(), 250u);
+}
+
+TEST(FeaturizeWithModelTest, EncodesTargets) {
+  const SyntheticDataset ds = SmallTask();
+  DirectWord2VecModel model(FastW2v(), {}, 3);
+  ASSERT_TRUE(model.Fit(ds.db).ok());
+  const Table* base = ds.db.FindTable("base");
+  TargetEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(*base->FindColumn("target"), true).ok());
+  const auto features =
+      FeaturizeWithModel(model, *base, "target", encoder, true);
+  ASSERT_TRUE(features.ok());
+  for (const double y : features->y) {
+    EXPECT_TRUE(y == 0.0 || y == 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace leva

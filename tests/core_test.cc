@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "ml/featurize.h"
+
+namespace leva {
+namespace {
+
+// Small, fast settings for unit tests.
+LevaConfig TestConfig(EmbeddingMethod method) {
+  LevaConfig config;
+  config.method = method;
+  config.embedding_dim = 8;
+  config.walks.epochs = 3;
+  config.walks.walk_length = 10;
+  config.word2vec.epochs = 1;
+  config.seed = 5;
+  return config;
+}
+
+SyntheticDataset Student() {
+  auto ds = GenerateStudent(120, 0, 3);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(PipelineTest, FitMfProducesEmbeddingForAllNodes) {
+  const SyntheticDataset ds = Student();
+  LevaPipeline pipeline(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(pipeline.Fit(ds.db).ok());
+  EXPECT_EQ(pipeline.chosen_method(), EmbeddingMethod::kMatrixFactorization);
+  EXPECT_EQ(pipeline.embedding().size(), pipeline.graph().NumNodes());
+  // Row nodes of every table are embedded.
+  EXPECT_TRUE(pipeline.embedding().Has("expenses:0"));
+  EXPECT_TRUE(pipeline.embedding().Has("order_info:0"));
+  EXPECT_TRUE(pipeline.embedding().Has("price_info:0"));
+}
+
+TEST(PipelineTest, FitRwWorks) {
+  const SyntheticDataset ds = Student();
+  LevaPipeline pipeline(TestConfig(EmbeddingMethod::kRandomWalk));
+  ASSERT_TRUE(pipeline.Fit(ds.db).ok());
+  EXPECT_EQ(pipeline.chosen_method(), EmbeddingMethod::kRandomWalk);
+  EXPECT_EQ(pipeline.embedding().dim(), 8u);
+}
+
+TEST(PipelineTest, AutoSelectionHonorsMemoryBudget) {
+  const SyntheticDataset ds = Student();
+  LevaConfig config = TestConfig(EmbeddingMethod::kAuto);
+  config.memory_budget_bytes = size_t{4} << 30;  // plenty -> MF
+  LevaPipeline big(config);
+  ASSERT_TRUE(big.Fit(ds.db).ok());
+  EXPECT_EQ(big.chosen_method(), EmbeddingMethod::kMatrixFactorization);
+
+  config.memory_budget_bytes = 1024;  // tiny -> RW
+  LevaPipeline small(config);
+  ASSERT_TRUE(small.Fit(ds.db).ok());
+  EXPECT_EQ(small.chosen_method(), EmbeddingMethod::kRandomWalk);
+}
+
+TEST(PipelineTest, ProfileRecordsStages) {
+  const SyntheticDataset ds = Student();
+  LevaPipeline mf(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(mf.Fit(ds.db).ok());
+  std::vector<std::string> names;
+  for (const auto& [name, secs] : mf.profile().stages()) names.push_back(name);
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "textify") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "graph") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "factorization") !=
+              names.end());
+
+  LevaPipeline rw(TestConfig(EmbeddingMethod::kRandomWalk));
+  ASSERT_TRUE(rw.Fit(ds.db).ok());
+  names.clear();
+  for (const auto& [name, secs] : rw.profile().stages()) names.push_back(name);
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "walk_generation") !=
+              names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "embedding_training") !=
+              names.end());
+}
+
+TEST(PipelineTest, FeaturizeTrainRowsUsesRowNodes) {
+  const SyntheticDataset ds = Student();
+  LevaPipeline pipeline(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(pipeline.Fit(ds.db).ok());
+
+  const Table* base = ds.db.FindTable("expenses");
+  TargetEncoder encoder;
+  ASSERT_TRUE(
+      encoder.Fit(*base->FindColumn("total_expenses"), false).ok());
+  const auto features =
+      pipeline.Featurize(*base, "total_expenses", encoder, true);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->NumRows(), base->NumRows());
+  // Default featurization is Row + Value: twice the embedding dim.
+  EXPECT_EQ(features->NumFeatures(), 16u);
+  EXPECT_FALSE(features->classification);
+}
+
+TEST(PipelineTest, RowOnlyHalvesWidth) {
+  const SyntheticDataset ds = Student();
+  LevaConfig config = TestConfig(EmbeddingMethod::kMatrixFactorization);
+  config.featurization = Featurization::kRowOnly;
+  LevaPipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(ds.db).ok());
+  const Table* base = ds.db.FindTable("expenses");
+  TargetEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(*base->FindColumn("total_expenses"), false).ok());
+  const auto features =
+      pipeline.Featurize(*base, "total_expenses", encoder, true);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->NumFeatures(), 8u);
+}
+
+TEST(PipelineTest, FeaturizeUnseenRowsComposesFromTokens) {
+  // Fit on the first 100 students; featurize the held-out 20 as unseen.
+  auto full = GenerateStudent(120, 0, 3);
+  ASSERT_TRUE(full.ok());
+  const Table* base = full->db.FindTable("expenses");
+  std::vector<size_t> train_rows;
+  std::vector<size_t> test_rows;
+  for (size_t r = 0; r < base->NumRows(); ++r) {
+    (r < 100 ? train_rows : test_rows).push_back(r);
+  }
+  Table train_table = base->SubsetRows(train_rows);
+  Table test_table = base->SubsetRows(test_rows);
+  train_table.set_name("expenses");
+  test_table.set_name("expenses");
+
+  Database fit_db;
+  ASSERT_TRUE(fit_db.AddTable(train_table).ok());
+  ASSERT_TRUE(fit_db.AddTable(*full->db.FindTable("order_info")).ok());
+  ASSERT_TRUE(fit_db.AddTable(*full->db.FindTable("price_info")).ok());
+
+  LevaPipeline pipeline(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(pipeline.Fit(fit_db).ok());
+
+  TargetEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(*base->FindColumn("total_expenses"), false).ok());
+  const auto test_features =
+      pipeline.Featurize(test_table, "total_expenses", encoder, false);
+  ASSERT_TRUE(test_features.ok());
+  EXPECT_EQ(test_features->NumRows(), 20u);
+  // At least one feature should be non-zero: the held-out students' tokens
+  // (gender, school) were seen during Fit.
+  bool any_nonzero = false;
+  for (const double v : test_features->x.data()) {
+    if (v != 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(PipelineTest, FeaturizeBeforeFitFails) {
+  LevaPipeline pipeline;
+  Table t("t");
+  TargetEncoder encoder;
+  EXPECT_EQ(pipeline.Featurize(t, "y", encoder, true).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineTest, RowVectorSkipsTargetTokens) {
+  // Two pipelines fitted identically must produce identical features
+  // regardless of the target values in the featurized table: the target
+  // column must not leak into the row vector.
+  const SyntheticDataset ds = Student();
+  LevaPipeline pipeline(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(pipeline.Fit(ds.db).ok());
+  const Table* base = ds.db.FindTable("expenses");
+
+  Table mutated = *base;
+  mutated.set_name("expenses");
+  const size_t target_idx = *mutated.ColumnIndex("total_expenses");
+  mutated.mutable_column(target_idx).values[0] = Value(99999.0);
+
+  const auto v1 = pipeline.RowVector(*base, 0, "total_expenses", true);
+  const auto v2 = pipeline.RowVector(mutated, 0, "total_expenses", true);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v1, *v2);
+}
+
+TEST(PipelineTest, WeightedConfigPropagates) {
+  const SyntheticDataset ds = Student();
+  LevaConfig config = TestConfig(EmbeddingMethod::kRandomWalk);
+  config.graph.weighted = false;
+  LevaPipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(ds.db).ok());
+  // Unweighted graph: all stored edge weights are 1.
+  const LevaGraph& g = pipeline.graph();
+  for (NodeId n = 0; n < g.NumNodes() && n < 50; ++n) {
+    for (const float w : g.Weights(n)) EXPECT_FLOAT_EQ(w, 1.0f);
+  }
+}
+
+TEST(PipelineTest, LineMethodPlugsIn) {
+  const SyntheticDataset ds = Student();
+  LevaConfig config = TestConfig(EmbeddingMethod::kLine);
+  config.line.samples_per_edge = 10;
+  LevaPipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(ds.db).ok());
+  EXPECT_EQ(pipeline.chosen_method(), EmbeddingMethod::kLine);
+  EXPECT_EQ(pipeline.embedding().dim(), 8u);
+  bool has_stage = false;
+  for (const auto& [name, secs] : pipeline.profile().stages()) {
+    if (name == "edge_sampling") has_stage = true;
+  }
+  EXPECT_TRUE(has_stage);
+}
+
+}  // namespace
+}  // namespace leva

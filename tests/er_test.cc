@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "baselines/leva_model.h"
+#include "datagen/er_data.h"
+#include "er/entity_resolution.h"
+
+namespace leva {
+namespace {
+
+ErDataset SmallEr(double perturbation) {
+  ErConfig config;
+  config.entities = 120;
+  config.perturbation = perturbation;
+  config.seed = 21;
+  auto ds = GenerateErDataset(config);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+LevaConfig FastLeva() {
+  LevaConfig config;
+  config.embedding_dim = 16;
+  config.method = EmbeddingMethod::kMatrixFactorization;
+  config.featurization = Featurization::kRowOnly;
+  config.seed = 9;
+  return config;
+}
+
+TEST(ErTest, DatabaseHelper) {
+  const ErDataset ds = SmallEr(0.1);
+  const auto db = ErDatabase(ds);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->tables().size(), 2u);
+}
+
+TEST(ErTest, LevaResolvesLightlyPerturbedEntities) {
+  const ErDataset ds = SmallEr(0.1);
+  const auto db = ErDatabase(ds);
+  ASSERT_TRUE(db.ok());
+  LevaModel model(FastLeva());
+  ASSERT_TRUE(model.Fit(*db).ok());
+  const auto result = EvaluateEntityResolution(model, ds);
+  ASSERT_TRUE(result.ok());
+  // Light perturbation: matching should clearly beat the 33% positive rate.
+  EXPECT_GT(result->f1, 0.6);
+}
+
+TEST(ErTest, HarderPerturbationLowersF1) {
+  const ErDataset easy = SmallEr(0.05);
+  const ErDataset hard = SmallEr(0.6);
+  const auto easy_db = ErDatabase(easy);
+  const auto hard_db = ErDatabase(hard);
+  ASSERT_TRUE(easy_db.ok());
+  ASSERT_TRUE(hard_db.ok());
+
+  LevaModel easy_model(FastLeva());
+  ASSERT_TRUE(easy_model.Fit(*easy_db).ok());
+  const auto easy_result = EvaluateEntityResolution(easy_model, easy);
+  ASSERT_TRUE(easy_result.ok());
+
+  LevaModel hard_model(FastLeva());
+  ASSERT_TRUE(hard_model.Fit(*hard_db).ok());
+  const auto hard_result = EvaluateEntityResolution(hard_model, hard);
+  ASSERT_TRUE(hard_result.ok());
+
+  EXPECT_GE(easy_result->f1 + 0.05, hard_result->f1);
+}
+
+TEST(ErTest, PrecisionRecallWithinBounds) {
+  const ErDataset ds = SmallEr(0.2);
+  const auto db = ErDatabase(ds);
+  ASSERT_TRUE(db.ok());
+  LevaModel model(FastLeva());
+  ASSERT_TRUE(model.Fit(*db).ok());
+  const auto result = EvaluateEntityResolution(model, ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->precision, 0.0);
+  EXPECT_LE(result->precision, 1.0);
+  EXPECT_GE(result->recall, 0.0);
+  EXPECT_LE(result->recall, 1.0);
+}
+
+TEST(ErTest, EmptyPairsRejected) {
+  ErDataset ds = SmallEr(0.1);
+  ds.pairs.clear();
+  LevaModel model(FastLeva());
+  const auto db = ErDatabase(ds);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(model.Fit(*db).ok());
+  EXPECT_FALSE(EvaluateEntityResolution(model, ds).ok());
+}
+
+}  // namespace
+}  // namespace leva

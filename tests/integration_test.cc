@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/experiment.h"
+#include "baselines/leva_model.h"
+#include "datagen/synthetic.h"
+#include "embed/embedding.h"
+
+namespace leva {
+namespace {
+
+// A compact classification task whose target depends on dimension-table
+// attributes reachable only through joins — the setting the whole paper is
+// about.
+SyntheticDataset IntegrationTask(uint64_t seed) {
+  SyntheticConfig c;
+  c.base_rows = 500;
+  c.classification = true;
+  c.num_classes = 2;
+  c.label_noise = 0.2;
+  c.dims = {
+      {.name = "facts", .rows = 60, .predictive_numeric = 2,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 1, .categories = 6, .parent = ""},
+  };
+  c.seed = seed;
+  auto ds = GenerateSynthetic(c);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto task = PrepareTask(IntegrationTask(31), 0.25, 77);
+    ASSERT_TRUE(task.ok()) << task.status().ToString();
+    task_ = new ExperimentTask(std::move(task).value());
+  }
+  static void TearDownTestSuite() {
+    delete task_;
+    task_ = nullptr;
+  }
+  static ExperimentTask* task_;
+};
+
+ExperimentTask* EndToEndTest::task_ = nullptr;
+
+TEST_F(EndToEndTest, FullBeatsBase) {
+  const auto base = EvaluateTabularBaseline(
+      *task_, TabularBaseline::kBase, 0, ModelKind::kRandomForest, 1);
+  const auto full = EvaluateTabularBaseline(
+      *task_, TabularBaseline::kFull, 0, ModelKind::kRandomForest, 1);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  // The paper's core premise: joined features help (Fig. 4).
+  EXPECT_GT(*full, *base + 0.05);
+}
+
+TEST_F(EndToEndTest, LevaMfBeatsBase) {
+  const auto base = EvaluateTabularBaseline(
+      *task_, TabularBaseline::kBase, 0, ModelKind::kRandomForest, 1);
+  LevaModel leva(FastLevaConfig(EmbeddingMethod::kMatrixFactorization));
+  const auto emb = EvaluateEmbeddingModel(&leva, *task_,
+                                          ModelKind::kRandomForest, 1);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(emb.ok()) << emb.status().ToString();
+  // Leva must recover cross-table signal without knowing the joins (RQ1).
+  EXPECT_GT(*emb, *base);
+}
+
+TEST_F(EndToEndTest, DiscDoesNotBeatFull) {
+  const auto disc = EvaluateTabularBaseline(
+      *task_, TabularBaseline::kDisc, 0, ModelKind::kRandomForest, 1);
+  const auto full = EvaluateTabularBaseline(
+      *task_, TabularBaseline::kFull, 0, ModelKind::kRandomForest, 1);
+  ASSERT_TRUE(disc.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(*disc, *full + 0.03);
+}
+
+TEST_F(EndToEndTest, ClusteringEffectWithinEntities) {
+  // Section 5.1: rows that reference the same dimension entity must embed
+  // closer (median pairwise L1) than random rows.
+  LevaModel leva(FastLevaConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(leva.Fit(task_->fit_db).ok());
+  const Embedding& emb = leva.embedding();
+
+  // All base rows are graph nodes, so index into the original table.
+  const Table& train = *task_->data.db.FindTable("base");
+  const size_t fk_col = *train.ColumnIndex("fk_facts");
+  std::map<std::string, std::vector<size_t>> by_entity;
+  for (size_t r = 0; r < train.NumRows(); ++r) {
+    by_entity[train.at(r, fk_col).as_string()].push_back(r);
+  }
+  Rng rng(5);
+  double within_sum = 0;
+  double random_sum = 0;
+  size_t groups = 0;
+  for (const auto& [key, rows] : by_entity) {
+    if (rows.size() < 2) continue;
+    const auto a = emb.Get("base:" + std::to_string(rows[0]));
+    const auto b = emb.Get("base:" + std::to_string(rows[1]));
+    const size_t r1 = rng.UniformInt(train.NumRows());
+    const size_t r2 = rng.UniformInt(train.NumRows());
+    const auto c = emb.Get("base:" + std::to_string(r1));
+    const auto d = emb.Get("base:" + std::to_string(r2));
+    if (a.empty() || b.empty() || c.empty() || d.empty()) continue;
+    within_sum += Embedding::L1Distance(a, b);
+    random_sum += Embedding::L1Distance(c, d);
+    ++groups;
+    if (groups >= 100) break;
+  }
+  ASSERT_GT(groups, 20u);
+  EXPECT_LT(within_sum, random_sum);
+}
+
+TEST_F(EndToEndTest, RwAlsoLearns) {
+  const auto base = EvaluateTabularBaseline(
+      *task_, TabularBaseline::kBase, 0, ModelKind::kLogistic, 1);
+  LevaModel leva(FastLevaConfig(EmbeddingMethod::kRandomWalk));
+  const auto emb =
+      EvaluateEmbeddingModel(&leva, *task_, ModelKind::kLogistic, 1);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(emb.ok()) << emb.status().ToString();
+  EXPECT_GT(*emb, *base - 0.02);
+}
+
+TEST(IntegrationRegressionTest, LevaBeatsBaseOnRegression) {
+  SyntheticConfig c;
+  c.base_rows = 400;
+  c.classification = false;
+  c.label_noise = 0.15;
+  c.dims = {
+      {.name = "facts", .rows = 50, .predictive_numeric = 2,
+       .predictive_categorical = 1, .noise_numeric = 1,
+       .noise_categorical = 0, .categories = 6, .parent = ""},
+  };
+  c.seed = 41;
+  auto data = GenerateSynthetic(c);
+  ASSERT_TRUE(data.ok());
+  auto task = PrepareTask(std::move(*data), 0.25, 78);
+  ASSERT_TRUE(task.ok());
+
+  const auto base = EvaluateTabularBaseline(
+      *task, TabularBaseline::kBase, 0, ModelKind::kElasticNet, 2);
+  LevaModel leva(FastLevaConfig(EmbeddingMethod::kMatrixFactorization));
+  const auto emb =
+      EvaluateEmbeddingModel(&leva, *task, ModelKind::kElasticNet, 2);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(emb.ok()) << emb.status().ToString();
+  // MAE: lower is better.
+  EXPECT_LT(*emb, *base);
+}
+
+TEST(IntegrationMissingDataTest, VotingRemovesMissingTokens) {
+  SyntheticConfig c;
+  c.base_rows = 300;
+  c.missing_rate = 0.25;
+  c.dims = {
+      {.name = "facts", .rows = 40, .predictive_numeric = 1,
+       .predictive_categorical = 2, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 6, .parent = ""},
+      {.name = "extra", .rows = 40, .predictive_numeric = 0,
+       .predictive_categorical = 2, .noise_numeric = 0,
+       .noise_categorical = 1, .categories = 6, .parent = ""},
+  };
+  c.seed = 51;
+  auto data = GenerateSynthetic(c);
+  ASSERT_TRUE(data.ok());
+  LevaModel leva(FastLevaConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(leva.Fit(data->db).ok());
+  // "?" was injected across many attributes; the refinement must remove it.
+  EXPECT_FALSE(leva.embedding().Has("?"));
+}
+
+}  // namespace
+}  // namespace leva

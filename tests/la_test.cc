@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/decomp.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace leva {
+namespace {
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, IdentityAndTranspose) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  Matrix m(2, 3);
+  m(0, 2) = 5.0;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(MatrixTest, MatMulCorrect) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MatTMulEqualsTransposeThenMul) {
+  Rng rng(4);
+  const Matrix a = Matrix::GaussianRandom(5, 3, &rng);
+  const Matrix b = Matrix::GaussianRandom(5, 2, &rng);
+  const Matrix direct = MatTMul(a, b);
+  const Matrix expected = MatMul(a.Transposed(), b);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(direct(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, AddScaledAndNorm) {
+  Matrix a(1, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  Matrix b(1, 2, 1.0);
+  a.AddScaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 5.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+}
+
+SparseMatrix SmallSparse() {
+  // [[1, 0, 2], [0, 3, 0]]
+  return SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+}
+
+TEST(SparseTest, FromTripletsAndAt) {
+  const SparseMatrix m = SmallSparse();
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 3.0);
+}
+
+TEST(SparseTest, DuplicateTripletsSum) {
+  const SparseMatrix m =
+      SparseMatrix::FromTriplets(1, 1, {{0, 0, 1.0}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  const SparseMatrix m = SmallSparse();
+  Matrix x(3, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) x(i, j) = static_cast<double>(i + j + 1);
+  }
+  const Matrix y = m.Multiply(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.0 * 1 + 2.0 * 3);  // 7
+  EXPECT_DOUBLE_EQ(y(1, 1), 3.0 * 3);            // 9
+}
+
+TEST(SparseTest, TransposeMultiplyMatchesDense) {
+  const SparseMatrix m = SmallSparse();
+  Rng rng(5);
+  const Matrix x = Matrix::GaussianRandom(2, 4, &rng);
+  const Matrix y = m.TransposeMultiply(x);
+  EXPECT_EQ(y.rows(), 3u);
+  // row 2 of y = 2.0 * x row 0.
+  for (size_t j = 0; j < 4; ++j) EXPECT_NEAR(y(2, j), 2.0 * x(0, j), 1e-12);
+}
+
+TEST(DecompTest, GramSchmidtOrthonormal) {
+  Rng rng(6);
+  const Matrix a = Matrix::GaussianRandom(20, 5, &rng);
+  const Matrix q = GramSchmidtQ(a);
+  const Matrix gram = MatTMul(q, q);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(DecompTest, GramSchmidtRankDeficient) {
+  Matrix a(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // linearly dependent
+  }
+  const Matrix q = GramSchmidtQ(a);
+  double norm1 = 0;
+  for (size_t i = 0; i < 4; ++i) norm1 += q(i, 1) * q(i, 1);
+  EXPECT_NEAR(norm1, 0.0, 1e-9);  // dependent column zeroed
+}
+
+TEST(DecompTest, SymmetricEigenDiagonal) {
+  Matrix d(3, 3);
+  d(0, 0) = 1;
+  d(1, 1) = 5;
+  d(2, 2) = 3;
+  const auto eig = SymmetricEigen(d);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(DecompTest, SymmetricEigenReconstructs) {
+  Rng rng(7);
+  const Matrix b = Matrix::GaussianRandom(6, 6, &rng);
+  const Matrix a = MatTMul(b, b);  // symmetric PSD
+  const auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // A = V diag(L) V^T.
+  Matrix vl = eig->eigenvectors;
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) vl(i, j) *= eig->eigenvalues[j];
+  }
+  const Matrix recon = MatMul(vl, eig->eigenvectors.Transposed());
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(DecompTest, SymmetricEigenRequiresSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+TEST(DecompTest, ThinSVDReconstructs) {
+  Rng rng(8);
+  const Matrix a = Matrix::GaussianRandom(12, 4, &rng);
+  const auto svd = ThinSVD(a);
+  ASSERT_TRUE(svd.ok());
+  // A = U diag(S) V^T.
+  Matrix us = svd->u;
+  for (size_t i = 0; i < us.rows(); ++i) {
+    for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= svd->singular_values[j];
+  }
+  const Matrix recon = MatMul(us, svd->v.Transposed());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(DecompTest, SingularValuesDescending) {
+  Rng rng(9);
+  const auto svd = ThinSVD(Matrix::GaussianRandom(10, 5, &rng));
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 1; i < svd->singular_values.size(); ++i) {
+    EXPECT_GE(svd->singular_values[i - 1], svd->singular_values[i]);
+  }
+}
+
+TEST(DecompTest, RandomizedSvdApproximatesLowRank) {
+  // Build an exactly rank-3 sparse matrix and recover it.
+  Rng rng(10);
+  const size_t n = 60;
+  const Matrix u = Matrix::GaussianRandom(n, 3, &rng);
+  const Matrix v = Matrix::GaussianRandom(n, 3, &rng);
+  std::vector<Triplet> triplets;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      double val = 0;
+      for (size_t k = 0; k < 3; ++k) val += u(i, k) * v(j, k);
+      triplets.push_back({i, j, val});
+    }
+  }
+  const SparseMatrix a = SparseMatrix::FromTriplets(n, n, triplets);
+  RandomizedSvdOptions options;
+  options.rank = 3;
+  options.oversample = 8;
+  options.power_iterations = 3;
+  const auto svd = RandomizedSVD(a, options, &rng);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd->singular_values.size(), 3u);
+
+  // Reconstruction error should be tiny relative to the matrix norm.
+  Matrix us = svd->u;
+  for (size_t i = 0; i < us.rows(); ++i) {
+    for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= svd->singular_values[j];
+  }
+  const Matrix recon = MatMul(us, svd->v.Transposed());
+  double err = 0;
+  double norm = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const double d = recon(i, j) - a.At(i, j);
+      err += d * d;
+      norm += a.At(i, j) * a.At(i, j);
+    }
+  }
+  EXPECT_LT(std::sqrt(err / norm), 1e-4);
+}
+
+TEST(DecompTest, RandomizedSvdRequiresRng) {
+  const SparseMatrix a = SmallSparse();
+  EXPECT_FALSE(RandomizedSVD(a, {}, nullptr).ok());
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  Rng rng(11);
+  // Points stretched along (1, 1) direction.
+  Matrix x(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    const double t = rng.Normal() * 10.0;
+    const double noise = rng.Normal() * 0.1;
+    x(i, 0) = t + noise;
+    x(i, 1) = t - noise;
+  }
+  const auto pca = PCA::Fit(x, 1);
+  ASSERT_TRUE(pca.ok());
+  const Matrix projected = pca->Transform(x);
+  EXPECT_EQ(projected.cols(), 1u);
+  // Nearly all variance captured in one component.
+  EXPECT_GT(pca->explained_variance()[0], 90.0);
+}
+
+TEST(PcaTest, TransformPreservesRowCount) {
+  Rng rng(12);
+  const Matrix x = Matrix::GaussianRandom(30, 8, &rng);
+  const auto pca = PCA::Fit(x, 3);
+  ASSERT_TRUE(pca.ok());
+  const Matrix y = pca->Transform(x);
+  EXPECT_EQ(y.rows(), 30u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(PcaTest, ComponentsClampedToDim) {
+  Rng rng(13);
+  const auto pca = PCA::Fit(Matrix::GaussianRandom(10, 3, &rng), 50);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->components(), 3u);
+}
+
+TEST(PcaTest, EmptyFails) {
+  EXPECT_FALSE(PCA::Fit(Matrix(), 2).ok());
+}
+
+// Property sweep: randomized SVD error decreases with rank on a fixed
+// random sparse matrix.
+class RandomizedSvdSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RandomizedSvdSweep, RankBoundsRespected) {
+  const size_t rank = GetParam();
+  Rng rng(200);
+  std::vector<Triplet> triplets;
+  for (uint32_t i = 0; i < 40; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      triplets.push_back({i, static_cast<uint32_t>(rng.UniformInt(40)),
+                          rng.Normal()});
+    }
+  }
+  const SparseMatrix a = SparseMatrix::FromTriplets(40, 40, triplets);
+  RandomizedSvdOptions options;
+  options.rank = rank;
+  const auto svd = RandomizedSVD(a, options, &rng);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LE(svd->singular_values.size(), rank);
+  EXPECT_EQ(svd->u.rows(), 40u);
+  EXPECT_EQ(svd->u.cols(), svd->singular_values.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomizedSvdSweep,
+                         ::testing::Values<size_t>(1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace leva

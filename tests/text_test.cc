@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "table/table.h"
+#include "text/histogram.h"
+#include "text/textifier.h"
+
+namespace leva {
+namespace {
+
+TEST(KurtosisTest, NormalIsAboutThree) {
+  Rng rng(5);
+  std::vector<double> values(20000);
+  for (double& v : values) v = rng.Normal();
+  EXPECT_NEAR(Kurtosis(values), 3.0, 0.3);
+}
+
+TEST(KurtosisTest, HeavyTailExceedsThree) {
+  Rng rng(6);
+  std::vector<double> values(20000);
+  for (double& v : values) {
+    // Mixture: mostly small, occasionally huge -> heavy tail.
+    v = rng.Bernoulli(0.02) ? rng.Normal() * 50.0 : rng.Normal();
+  }
+  EXPECT_GT(Kurtosis(values), kHeavyTailKurtosis);
+}
+
+TEST(KurtosisTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Kurtosis({}), 0.0);
+  EXPECT_DOUBLE_EQ(Kurtosis({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Kurtosis({2.0, 2.0, 2.0}), 0.0);  // zero variance
+}
+
+TEST(HistogramTest, EquiWidthBinsAreUniformWidth) {
+  std::vector<double> values;
+  for (int i = 0; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  const Histogram h = Histogram::Fit(values, 10, HistogramType::kEquiWidth);
+  EXPECT_EQ(h.num_bins(), 10u);
+  EXPECT_EQ(h.BinOf(0.0), 0u);
+  EXPECT_EQ(h.BinOf(100.0), 9u);
+  EXPECT_EQ(h.BinOf(55.0), 5u);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  const Histogram h =
+      Histogram::Fit({0.0, 10.0}, 5, HistogramType::kEquiWidth);
+  EXPECT_EQ(h.BinOf(-100.0), 0u);
+  EXPECT_EQ(h.BinOf(1e9), h.num_bins() - 1);
+}
+
+TEST(HistogramTest, EquiDepthBalancesCounts) {
+  Rng rng(7);
+  std::vector<double> values(10000);
+  for (double& v : values) v = std::exp(rng.Normal() * 2.0);  // skewed
+  const Histogram h = Histogram::Fit(values, 10, HistogramType::kEquiDepth);
+  std::vector<size_t> counts(h.num_bins(), 0);
+  for (const double v : values) ++counts[h.BinOf(v)];
+  const size_t expected = values.size() / h.num_bins();
+  for (const size_t c : counts) {
+    EXPECT_GT(c, expected / 3);
+    EXPECT_LT(c, expected * 3);
+  }
+}
+
+TEST(HistogramTest, ConstantColumnOneBin) {
+  const Histogram h =
+      Histogram::Fit({5.0, 5.0, 5.0}, 10, HistogramType::kEquiWidth);
+  EXPECT_EQ(h.num_bins(), 1u);
+  EXPECT_EQ(h.BinOf(5.0), 0u);
+  EXPECT_EQ(h.BinOf(99.0), 0u);
+}
+
+TEST(HistogramTest, EmptyInputOneBin) {
+  const Histogram h = Histogram::Fit({}, 10, HistogramType::kEquiWidth);
+  EXPECT_EQ(h.num_bins(), 1u);
+}
+
+TEST(HistogramTest, FitAutoPicksEquiDepthForHeavyTails) {
+  Rng rng(8);
+  std::vector<double> heavy(5000);
+  for (double& v : heavy) {
+    v = rng.Bernoulli(0.02) ? rng.Normal() * 100.0 : rng.Normal();
+  }
+  EXPECT_EQ(Histogram::FitAuto(heavy, 10).type(), HistogramType::kEquiDepth);
+
+  std::vector<double> uniform(5000);
+  for (double& v : uniform) v = rng.Uniform();
+  EXPECT_EQ(Histogram::FitAuto(uniform, 10).type(),
+            HistogramType::kEquiWidth);
+}
+
+// Property sweep: monotone bin assignment for all histogram configurations.
+class HistogramPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, HistogramType>> {};
+
+TEST_P(HistogramPropertyTest, BinAssignmentIsMonotone) {
+  const auto [bins, type] = GetParam();
+  Rng rng(static_cast<uint64_t>(bins) * 31 + 1);
+  std::vector<double> values(3000);
+  for (double& v : values) v = rng.Normal() * 10.0;
+  const Histogram h = Histogram::Fit(values, bins, type);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  size_t prev = 0;
+  for (const double v : sorted) {
+    const size_t bin = h.BinOf(v);
+    EXPECT_GE(bin, prev);
+    EXPECT_LT(bin, h.num_bins());
+    prev = bin;
+  }
+}
+
+TEST_P(HistogramPropertyTest, EffectiveBinCountBounded) {
+  const auto [bins, type] = GetParam();
+  Rng rng(static_cast<uint64_t>(bins) * 17 + 3);
+  std::vector<double> values(500);
+  for (double& v : values) v = rng.Uniform(0, 100);
+  const Histogram h = Histogram::Fit(values, bins, type);
+  EXPECT_LE(h.num_bins(), bins == 0 ? 1 : bins);
+  EXPECT_GE(h.num_bins(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 5, 10, 50, 160),
+                       ::testing::Values(HistogramType::kEquiWidth,
+                                         HistogramType::kEquiDepth)));
+
+Database MakeTypedDb() {
+  Database db;
+  Table t("t");
+  Column key;
+  key.name = "id";
+  key.type = DataType::kString;
+  Column num;
+  num.name = "amount";
+  num.type = DataType::kDouble;
+  Column cat;
+  cat.name = "color";
+  cat.type = DataType::kString;
+  Column list;
+  list.name = "tags";
+  list.type = DataType::kString;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    key.values.push_back(Value("id_" + std::to_string(i)));
+    num.values.push_back(Value(rng.Uniform(0, 100)));
+    cat.values.push_back(Value(i % 2 == 0 ? std::string("red") : std::string("blue")));
+    list.values.push_back(Value("tag" + std::to_string(i % 3) + ",tag" +
+                                std::to_string(i % 5)));
+  }
+  EXPECT_TRUE(t.AddColumn(key).ok());
+  EXPECT_TRUE(t.AddColumn(num).ok());
+  EXPECT_TRUE(t.AddColumn(cat).ok());
+  EXPECT_TRUE(t.AddColumn(list).ok());
+  EXPECT_TRUE(db.AddTable(t).ok());
+  return db;
+}
+
+TEST(TextifierTest, ClassifiesColumnTypes) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  EXPECT_EQ(*tx.ClassOf("t", "id"), ColumnClass::kKey);
+  EXPECT_EQ(*tx.ClassOf("t", "amount"), ColumnClass::kNumeric);
+  EXPECT_EQ(*tx.ClassOf("t", "color"), ColumnClass::kStringAtomic);
+  EXPECT_EQ(*tx.ClassOf("t", "tags"), ColumnClass::kStringList);
+  EXPECT_FALSE(tx.ClassOf("t", "nope").ok());
+}
+
+TEST(TextifierTest, FloatColumnIsNeverKey) {
+  Database db;
+  Table t("t");
+  Column c;
+  c.name = "f";
+  c.type = DataType::kDouble;
+  for (int i = 0; i < 50; ++i) c.values.push_back(Value(i + 0.5));
+  ASSERT_TRUE(t.AddColumn(c).ok());
+  ASSERT_TRUE(db.AddTable(t).ok());
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  EXPECT_EQ(*tx.ClassOf("t", "f"), ColumnClass::kNumeric);
+}
+
+TEST(TextifierTest, NumericTokensAreBinned) {
+  const Database db = MakeTypedDb();
+  TextifyOptions options;
+  options.bin_count = 10;
+  Textifier tx(options);
+  ASSERT_TRUE(tx.Fit(db).ok());
+  const auto tokens = tx.TransformCell("t", "amount", Value(50.0));
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_TRUE(tokens->front().starts_with("amount#bin"));
+}
+
+TEST(TextifierTest, UnseenNumericFallsIntoExistingBin) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  // Way outside the fitted range: clamps to the last bin rather than failing.
+  const auto tokens = tx.TransformCell("t", "amount", Value(1e9));
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+}
+
+TEST(TextifierTest, NullEmitsNothing) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  const auto tokens = tx.TransformCell("t", "amount", Value::Null());
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens->empty());
+}
+
+TEST(TextifierTest, ListsSplitIntoElements) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  const auto tokens = tx.TransformCell("t", "tags", Value("a, b ,c"));
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1], "b");
+}
+
+TEST(TextifierTest, MissingStringTokenPassesThrough) {
+  // Literal "?" must reach the graph so the voting mechanism can remove it.
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  const auto tokens = tx.TransformCell("t", "color", Value("?"));
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front(), "?");
+}
+
+TEST(TextifierTest, TransformWholeTable) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  const auto tt = tx.Transform(db.tables()[0]);
+  ASSERT_TRUE(tt.ok());
+  EXPECT_EQ(tt->rows.size(), 100u);
+  // id + amount + color + 2 list elements = 5 tokens per row.
+  EXPECT_EQ(tt->rows[0].size(), 5u);
+}
+
+TEST(TextifierTest, UnknownTableFails) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  Table other("other");
+  Column c;
+  c.name = "x";
+  ASSERT_TRUE(other.AddColumn(c).ok());
+  EXPECT_FALSE(tx.Transform(other).ok());
+}
+
+TEST(TextifierTest, AttributeRegistry) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  EXPECT_EQ(tx.NumAttributes(), 4u);
+  EXPECT_EQ(tx.AttributeName(0), "t.id");
+}
+
+TEST(TextifierTest, SpaceSeparatedStringsSplit) {
+  Database db;
+  Table t("p");
+  Column name;
+  name.name = "title";
+  name.type = DataType::kString;
+  for (int i = 0; i < 30; ++i) {
+    name.values.push_back(Value("alpha beta gamma"));
+  }
+  ASSERT_TRUE(t.AddColumn(name).ok());
+  ASSERT_TRUE(db.AddTable(t).ok());
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  const auto tokens = tx.TransformCell("p", "title", Value("alpha beta"));
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 2u);
+}
+
+// Bin-count sweep: every configuration produces at most bin_count distinct
+// numeric tokens for a column.
+class TextifierBinSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TextifierBinSweep, TokenCardinalityBounded) {
+  const size_t bins = GetParam();
+  const Database db = MakeTypedDb();
+  TextifyOptions options;
+  options.bin_count = bins;
+  Textifier tx(options);
+  ASSERT_TRUE(tx.Fit(db).ok());
+  std::set<std::string> distinct;
+  for (const Value& v : db.tables()[0].column(1).values) {
+    const auto tokens = tx.TransformCell("t", "amount", v);
+    ASSERT_TRUE(tokens.ok());
+    for (const auto& t : *tokens) distinct.insert(t);
+  }
+  EXPECT_LE(distinct.size(), bins);
+  EXPECT_GE(distinct.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TextifierBinSweep,
+                         ::testing::Values<size_t>(2, 10, 20, 40, 80, 160));
+
+}  // namespace
+}  // namespace leva

@@ -1,0 +1,238 @@
+// leva_cli: run the Leva pipeline over a set of CSV files from the command
+// line and write the relational embedding as text.
+//
+//   leva_cli --table orders=orders.csv --table customers=customers.csv \
+//            [--dim 100] [--method auto|mf|rw] [--bins 50] \
+//            [--theta-range 0.5] [--theta-min 0.05] [--unweighted] \
+//            [--featurize base_table target_column out.csv] \
+//            --output embedding.txt
+//
+// With --featurize, the base table is additionally encoded with the trained
+// embedding and written as a plain numeric CSV (emb0..embN plus the target),
+// ready for any external ML tool.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "ml/featurize.h"
+#include "table/csv.h"
+
+namespace leva {
+namespace {
+
+struct CliOptions {
+  std::vector<std::pair<std::string, std::string>> tables;  // name -> path
+  std::string output;
+  std::string featurize_table;
+  std::string featurize_target;
+  std::string featurize_output;
+  LevaConfig config;
+  bool show_help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: leva_cli --table NAME=FILE.csv [--table ...] --output EMB.txt\n"
+      "                [--dim N] [--method auto|mf|rw] [--bins N]\n"
+      "                [--theta-range F] [--theta-min F] [--unweighted]\n"
+      "                [--seed N] [--featurize TABLE TARGET OUT.csv]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      options->show_help = true;
+      return true;
+    } else if (arg == "--table") {
+      const char* v = next("--table");
+      if (v == nullptr) return false;
+      const std::string spec(v);
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--table expects NAME=FILE.csv, got '%s'\n", v);
+        return false;
+      }
+      options->tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--output") {
+      const char* v = next("--output");
+      if (v == nullptr) return false;
+      options->output = v;
+    } else if (arg == "--dim") {
+      const char* v = next("--dim");
+      if (v == nullptr) return false;
+      options->config.embedding_dim = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--bins") {
+      const char* v = next("--bins");
+      if (v == nullptr) return false;
+      options->config.textify.bin_count = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--theta-range") {
+      const char* v = next("--theta-range");
+      if (v == nullptr) return false;
+      options->config.graph.theta_range = std::atof(v);
+    } else if (arg == "--theta-min") {
+      const char* v = next("--theta-min");
+      if (v == nullptr) return false;
+      options->config.graph.theta_min = std::atof(v);
+    } else if (arg == "--unweighted") {
+      options->config.graph.weighted = false;
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) return false;
+      options->config.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--method") {
+      const char* v = next("--method");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "mf") == 0) {
+        options->config.method = EmbeddingMethod::kMatrixFactorization;
+      } else if (std::strcmp(v, "rw") == 0) {
+        options->config.method = EmbeddingMethod::kRandomWalk;
+      } else if (std::strcmp(v, "auto") == 0) {
+        options->config.method = EmbeddingMethod::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown method '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--featurize") {
+      if (i + 3 >= argc) {
+        std::fprintf(stderr, "--featurize expects TABLE TARGET OUT.csv\n");
+        return false;
+      }
+      options->featurize_table = argv[++i];
+      options->featurize_target = argv[++i];
+      options->featurize_output = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunCli(const CliOptions& options) {
+  Database db;
+  for (const auto& [name, path] : options.tables) {
+    auto table = ReadCsvFile(path, name);
+    if (!table.ok()) {
+      std::fprintf(stderr, "loading %s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %-16s %zu rows x %zu columns\n", name.c_str(),
+                 table->NumRows(), table->NumColumns());
+    if (Status s = db.AddTable(std::move(*table)); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  LevaPipeline pipeline(options.config);
+  if (Status s = pipeline.Fit(db); !s.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const GraphStats& stats = pipeline.graph().stats();
+  std::fprintf(stderr,
+               "graph: %zu row nodes, %zu value nodes, %zu edges; "
+               "refinement removed %zu missing-token(s); method=%s\n",
+               stats.row_nodes, stats.value_nodes, stats.edges,
+               stats.tokens_removed_missing,
+               pipeline.chosen_method() == EmbeddingMethod::kMatrixFactorization
+                   ? "MF"
+                   : "RW");
+
+  if (!options.output.empty()) {
+    std::ofstream out(options.output);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", options.output.c_str());
+      return 1;
+    }
+    out << pipeline.embedding().ToText();
+    std::fprintf(stderr, "wrote %zu vectors (dim %zu) to %s\n",
+                 pipeline.embedding().size(), pipeline.embedding().dim(),
+                 options.output.c_str());
+  }
+
+  if (!options.featurize_table.empty()) {
+    const Table* base = db.FindTable(options.featurize_table);
+    if (base == nullptr) {
+      std::fprintf(stderr, "no table '%s' to featurize\n",
+                   options.featurize_table.c_str());
+      return 1;
+    }
+    const Column* target = base->FindColumn(options.featurize_target);
+    if (target == nullptr) {
+      std::fprintf(stderr, "no column '%s' in '%s'\n",
+                   options.featurize_target.c_str(),
+                   options.featurize_table.c_str());
+      return 1;
+    }
+    TargetEncoder encoder;
+    // Try classification first; numeric targets fall back to regression.
+    bool classification = true;
+    if (!encoder.Fit(*target, true).ok()) {
+      classification = false;
+      if (Status s = encoder.Fit(*target, false); !s.ok()) {
+        std::fprintf(stderr, "target: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    auto features = pipeline.Featurize(*base, options.featurize_target,
+                                       encoder, /*rows_in_graph=*/true);
+    if (!features.ok()) {
+      std::fprintf(stderr, "featurize: %s\n",
+                   features.status().ToString().c_str());
+      return 1;
+    }
+    Table out_table(options.featurize_table + "_features");
+    for (size_t j = 0; j < features->NumFeatures(); ++j) {
+      Column c;
+      c.name = features->feature_names[j];
+      c.type = DataType::kDouble;
+      for (size_t r = 0; r < features->NumRows(); ++r) {
+        c.values.push_back(Value(features->x(r, j)));
+      }
+      (void)out_table.AddColumn(std::move(c));
+    }
+    Column y;
+    y.name = options.featurize_target;
+    y.type = DataType::kDouble;
+    for (const double v : features->y) y.values.push_back(Value(v));
+    (void)out_table.AddColumn(std::move(y));
+    if (Status s = WriteCsvFile(out_table, options.featurize_output); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote featurized %s (%s) to %s\n",
+                 options.featurize_table.c_str(),
+                 classification ? "classification" : "regression",
+                 options.featurize_output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace leva
+
+int main(int argc, char** argv) {
+  leva::CliOptions options;
+  if (!leva::ParseArgs(argc, argv, &options)) {
+    leva::PrintUsage();
+    return 2;
+  }
+  if (options.show_help || options.tables.empty()) {
+    leva::PrintUsage();
+    return options.show_help ? 0 : 2;
+  }
+  return leva::RunCli(options);
+}
