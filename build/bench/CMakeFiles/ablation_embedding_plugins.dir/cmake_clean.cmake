@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_embedding_plugins.dir/ablation_embedding_plugins.cc.o"
+  "CMakeFiles/ablation_embedding_plugins.dir/ablation_embedding_plugins.cc.o.d"
+  "ablation_embedding_plugins"
+  "ablation_embedding_plugins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_embedding_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_value_nodes.dir/ablation_value_nodes.cc.o"
+  "CMakeFiles/ablation_value_nodes.dir/ablation_value_nodes.cc.o.d"
+  "ablation_value_nodes"
+  "ablation_value_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

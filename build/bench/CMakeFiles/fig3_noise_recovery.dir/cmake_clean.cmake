@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_noise_recovery.dir/fig3_noise_recovery.cc.o"
+  "CMakeFiles/fig3_noise_recovery.dir/fig3_noise_recovery.cc.o.d"
+  "fig3_noise_recovery"
+  "fig3_noise_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_noise_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_classification.dir/fig4_classification.cc.o"
+  "CMakeFiles/fig4_classification.dir/fig4_classification.cc.o.d"
+  "fig4_classification"
+  "fig4_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_regression.dir/fig5_regression.cc.o"
+  "CMakeFiles/fig5_regression.dir/fig5_regression.cc.o.d"
+  "fig5_regression"
+  "fig5_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

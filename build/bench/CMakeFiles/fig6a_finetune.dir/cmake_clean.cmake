@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_finetune.dir/fig6a_finetune.cc.o"
+  "CMakeFiles/fig6a_finetune.dir/fig6a_finetune.cc.o.d"
+  "fig6a_finetune"
+  "fig6a_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6bc_profile.dir/fig6bc_profile.cc.o"
+  "CMakeFiles/fig6bc_profile.dir/fig6bc_profile.cc.o.d"
+  "fig6bc_profile"
+  "fig6bc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6bc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

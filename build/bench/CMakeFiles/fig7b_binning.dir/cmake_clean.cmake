@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_binning.dir/fig7b_binning.cc.o"
+  "CMakeFiles/fig7b_binning.dir/fig7b_binning.cc.o.d"
+  "fig7b_binning"
+  "fig7b_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

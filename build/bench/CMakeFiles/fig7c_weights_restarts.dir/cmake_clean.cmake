@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_weights_restarts.dir/fig7c_weights_restarts.cc.o"
+  "CMakeFiles/fig7c_weights_restarts.dir/fig7c_weights_restarts.cc.o.d"
+  "fig7c_weights_restarts"
+  "fig7c_weights_restarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_weights_restarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

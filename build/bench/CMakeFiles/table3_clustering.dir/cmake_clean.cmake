@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_clustering.dir/table3_clustering.cc.o"
+  "CMakeFiles/table3_clustering.dir/table3_clustering.cc.o.d"
+  "table3_clustering"
+  "table3_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_embedding_methods.dir/table5_embedding_methods.cc.o"
+  "CMakeFiles/table5_embedding_methods.dir/table5_embedding_methods.cc.o.d"
+  "table5_embedding_methods"
+  "table5_embedding_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_embedding_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

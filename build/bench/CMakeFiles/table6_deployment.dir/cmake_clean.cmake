@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_deployment.dir/table6_deployment.cc.o"
+  "CMakeFiles/table6_deployment.dir/table6_deployment.cc.o.d"
+  "table6_deployment"
+  "table6_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_pca.dir/table7_pca.cc.o"
+  "CMakeFiles/table7_pca.dir/table7_pca.cc.o.d"
+  "table7_pca"
+  "table7_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

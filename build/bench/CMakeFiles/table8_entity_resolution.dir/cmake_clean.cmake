@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_entity_resolution.dir/table8_entity_resolution.cc.o"
+  "CMakeFiles/table8_entity_resolution.dir/table8_entity_resolution.cc.o.d"
+  "table8_entity_resolution"
+  "table8_entity_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_entity_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_matching.dir/entity_matching.cpp.o"
+  "CMakeFiles/entity_matching.dir/entity_matching.cpp.o.d"
+  "entity_matching"
+  "entity_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

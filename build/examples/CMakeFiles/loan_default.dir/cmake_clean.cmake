@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loan_default.dir/loan_default.cpp.o"
+  "CMakeFiles/loan_default.dir/loan_default.cpp.o.d"
+  "loan_default"
+  "loan_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loan_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

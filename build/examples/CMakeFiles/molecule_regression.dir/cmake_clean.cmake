@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_regression.dir/molecule_regression.cpp.o"
+  "CMakeFiles/molecule_regression.dir/molecule_regression.cpp.o.d"
+  "molecule_regression"
+  "molecule_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

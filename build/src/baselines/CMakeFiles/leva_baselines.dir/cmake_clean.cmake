@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_baselines.dir/corpus_models.cc.o"
+  "CMakeFiles/leva_baselines.dir/corpus_models.cc.o.d"
+  "CMakeFiles/leva_baselines.dir/discovery.cc.o"
+  "CMakeFiles/leva_baselines.dir/discovery.cc.o.d"
+  "CMakeFiles/leva_baselines.dir/embedding_model.cc.o"
+  "CMakeFiles/leva_baselines.dir/embedding_model.cc.o.d"
+  "CMakeFiles/leva_baselines.dir/experiment.cc.o"
+  "CMakeFiles/leva_baselines.dir/experiment.cc.o.d"
+  "CMakeFiles/leva_baselines.dir/graph_models.cc.o"
+  "CMakeFiles/leva_baselines.dir/graph_models.cc.o.d"
+  "CMakeFiles/leva_baselines.dir/tabular.cc.o"
+  "CMakeFiles/leva_baselines.dir/tabular.cc.o.d"
+  "libleva_baselines.a"
+  "libleva_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

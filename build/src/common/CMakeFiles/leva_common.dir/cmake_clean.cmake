@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_common.dir/logging.cc.o"
+  "CMakeFiles/leva_common.dir/logging.cc.o.d"
+  "CMakeFiles/leva_common.dir/status.cc.o"
+  "CMakeFiles/leva_common.dir/status.cc.o.d"
+  "CMakeFiles/leva_common.dir/string_util.cc.o"
+  "CMakeFiles/leva_common.dir/string_util.cc.o.d"
+  "libleva_common.a"
+  "libleva_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

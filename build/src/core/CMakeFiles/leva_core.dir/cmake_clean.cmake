@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_core.dir/pipeline.cc.o"
+  "CMakeFiles/leva_core.dir/pipeline.cc.o.d"
+  "libleva_core.a"
+  "libleva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

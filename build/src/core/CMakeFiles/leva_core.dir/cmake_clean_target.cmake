@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleva_core.a"
+)

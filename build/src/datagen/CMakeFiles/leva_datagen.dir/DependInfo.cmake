@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/datasets.cc" "src/datagen/CMakeFiles/leva_datagen.dir/datasets.cc.o" "gcc" "src/datagen/CMakeFiles/leva_datagen.dir/datasets.cc.o.d"
+  "/root/repo/src/datagen/er_data.cc" "src/datagen/CMakeFiles/leva_datagen.dir/er_data.cc.o" "gcc" "src/datagen/CMakeFiles/leva_datagen.dir/er_data.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/leva_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/leva_datagen.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/leva_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_datagen.dir/datasets.cc.o"
+  "CMakeFiles/leva_datagen.dir/datasets.cc.o.d"
+  "CMakeFiles/leva_datagen.dir/er_data.cc.o"
+  "CMakeFiles/leva_datagen.dir/er_data.cc.o.d"
+  "CMakeFiles/leva_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/leva_datagen.dir/synthetic.cc.o.d"
+  "libleva_datagen.a"
+  "libleva_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/embedding.cc" "src/embed/CMakeFiles/leva_embed.dir/embedding.cc.o" "gcc" "src/embed/CMakeFiles/leva_embed.dir/embedding.cc.o.d"
+  "/root/repo/src/embed/line.cc" "src/embed/CMakeFiles/leva_embed.dir/line.cc.o" "gcc" "src/embed/CMakeFiles/leva_embed.dir/line.cc.o.d"
+  "/root/repo/src/embed/mf.cc" "src/embed/CMakeFiles/leva_embed.dir/mf.cc.o" "gcc" "src/embed/CMakeFiles/leva_embed.dir/mf.cc.o.d"
+  "/root/repo/src/embed/walks.cc" "src/embed/CMakeFiles/leva_embed.dir/walks.cc.o" "gcc" "src/embed/CMakeFiles/leva_embed.dir/walks.cc.o.d"
+  "/root/repo/src/embed/word2vec.cc" "src/embed/CMakeFiles/leva_embed.dir/word2vec.cc.o" "gcc" "src/embed/CMakeFiles/leva_embed.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/leva_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/leva_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leva_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/leva_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_embed.dir/embedding.cc.o"
+  "CMakeFiles/leva_embed.dir/embedding.cc.o.d"
+  "CMakeFiles/leva_embed.dir/line.cc.o"
+  "CMakeFiles/leva_embed.dir/line.cc.o.d"
+  "CMakeFiles/leva_embed.dir/mf.cc.o"
+  "CMakeFiles/leva_embed.dir/mf.cc.o.d"
+  "CMakeFiles/leva_embed.dir/walks.cc.o"
+  "CMakeFiles/leva_embed.dir/walks.cc.o.d"
+  "CMakeFiles/leva_embed.dir/word2vec.cc.o"
+  "CMakeFiles/leva_embed.dir/word2vec.cc.o.d"
+  "libleva_embed.a"
+  "libleva_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

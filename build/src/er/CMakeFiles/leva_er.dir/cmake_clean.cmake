@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_er.dir/entity_resolution.cc.o"
+  "CMakeFiles/leva_er.dir/entity_resolution.cc.o.d"
+  "libleva_er.a"
+  "libleva_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

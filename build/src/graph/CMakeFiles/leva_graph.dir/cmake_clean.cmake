@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_graph.dir/alias.cc.o"
+  "CMakeFiles/leva_graph.dir/alias.cc.o.d"
+  "CMakeFiles/leva_graph.dir/graph.cc.o"
+  "CMakeFiles/leva_graph.dir/graph.cc.o.d"
+  "libleva_graph.a"
+  "libleva_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

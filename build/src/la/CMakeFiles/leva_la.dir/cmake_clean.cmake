@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_la.dir/decomp.cc.o"
+  "CMakeFiles/leva_la.dir/decomp.cc.o.d"
+  "CMakeFiles/leva_la.dir/matrix.cc.o"
+  "CMakeFiles/leva_la.dir/matrix.cc.o.d"
+  "CMakeFiles/leva_la.dir/sparse.cc.o"
+  "CMakeFiles/leva_la.dir/sparse.cc.o.d"
+  "libleva_la.a"
+  "libleva_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/leva_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/leva_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/featurize.cc" "src/ml/CMakeFiles/leva_ml.dir/featurize.cc.o" "gcc" "src/ml/CMakeFiles/leva_ml.dir/featurize.cc.o.d"
+  "/root/repo/src/ml/gridsearch.cc" "src/ml/CMakeFiles/leva_ml.dir/gridsearch.cc.o" "gcc" "src/ml/CMakeFiles/leva_ml.dir/gridsearch.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/leva_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/leva_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/leva_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/leva_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/leva_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/leva_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/leva_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/leva_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/leva_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/leva_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_ml.dir/dataset.cc.o"
+  "CMakeFiles/leva_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/leva_ml.dir/featurize.cc.o"
+  "CMakeFiles/leva_ml.dir/featurize.cc.o.d"
+  "CMakeFiles/leva_ml.dir/gridsearch.cc.o"
+  "CMakeFiles/leva_ml.dir/gridsearch.cc.o.d"
+  "CMakeFiles/leva_ml.dir/linear.cc.o"
+  "CMakeFiles/leva_ml.dir/linear.cc.o.d"
+  "CMakeFiles/leva_ml.dir/metrics.cc.o"
+  "CMakeFiles/leva_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/leva_ml.dir/mlp.cc.o"
+  "CMakeFiles/leva_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/leva_ml.dir/tree.cc.o"
+  "CMakeFiles/leva_ml.dir/tree.cc.o.d"
+  "libleva_ml.a"
+  "libleva_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

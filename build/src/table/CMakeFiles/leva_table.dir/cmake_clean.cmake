@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_table.dir/csv.cc.o"
+  "CMakeFiles/leva_table.dir/csv.cc.o.d"
+  "CMakeFiles/leva_table.dir/join.cc.o"
+  "CMakeFiles/leva_table.dir/join.cc.o.d"
+  "CMakeFiles/leva_table.dir/table.cc.o"
+  "CMakeFiles/leva_table.dir/table.cc.o.d"
+  "CMakeFiles/leva_table.dir/value.cc.o"
+  "CMakeFiles/leva_table.dir/value.cc.o.d"
+  "libleva_table.a"
+  "libleva_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_text.dir/histogram.cc.o"
+  "CMakeFiles/leva_text.dir/histogram.cc.o.d"
+  "CMakeFiles/leva_text.dir/textifier.cc.o"
+  "CMakeFiles/leva_text.dir/textifier.cc.o.d"
+  "libleva_text.a"
+  "libleva_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leva_cli.dir/leva_cli.cc.o"
+  "CMakeFiles/leva_cli.dir/leva_cli.cc.o.d"
+  "leva_cli"
+  "leva_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leva_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
