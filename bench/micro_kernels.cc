@@ -124,6 +124,57 @@ void BM_WalkGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WalkGeneration)->Arg(0)->Arg(1);
 
+// ---------------------------------------------------------------------------
+// Thread-scaling benchmarks for the shared execution layer. The argument is
+// the worker count; the `items_per_second` column across 1/2/4/8 threads is
+// the speedup table. Emit it as JSON with
+//   micro_kernels --benchmark_filter=Threads --benchmark_format=json \
+//                 --benchmark_out=scaling.json
+// ---------------------------------------------------------------------------
+
+void BM_GemmThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  const Matrix a = Matrix::GaussianRandom(384, 256, &rng);
+  const Matrix b = Matrix::GaussianRandom(256, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b, threads));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.rows() * a.cols() * b.cols()));
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SparseMultiplyThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Fixture& f = GetFixture();
+  const SparseMatrix m = BuildProximityMatrix(f.graph, 1e-3);
+  Rng rng(6);
+  const Matrix x = Matrix::GaussianRandom(m.cols(), 32, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Multiply(x, threads));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.nnz()) * 32);
+}
+BENCHMARK(BM_SparseMultiplyThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WalkGenerationThreads(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  WalkOptions options;
+  options.epochs = 1;
+  options.walk_length = 20;
+  options.threads = static_cast<size_t>(state.range(0));
+  WalkGenerator generator(&f.graph, options);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(&rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.graph.NumNodes()) * 20);
+}
+BENCHMARK(BM_WalkGenerationThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 }  // namespace
 }  // namespace leva
 

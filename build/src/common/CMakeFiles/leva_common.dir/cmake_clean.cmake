@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/leva_common.dir/logging.cc.o"
   "CMakeFiles/leva_common.dir/logging.cc.o.d"
+  "CMakeFiles/leva_common.dir/parallel.cc.o"
+  "CMakeFiles/leva_common.dir/parallel.cc.o.d"
   "CMakeFiles/leva_common.dir/status.cc.o"
   "CMakeFiles/leva_common.dir/status.cc.o.d"
   "CMakeFiles/leva_common.dir/string_util.cc.o"

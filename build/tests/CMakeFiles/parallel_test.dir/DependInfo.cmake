@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/er/CMakeFiles/leva_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/leva_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/leva_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/leva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/leva_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/leva_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leva_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/leva_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/leva_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/leva_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/leva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

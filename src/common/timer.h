@@ -53,10 +53,19 @@ class StageProfile {
     return total;
   }
 
-  void Clear() { stages_.clear(); }
+  /// Worker threads the profiled run executed with (resolved, never 0), so
+  /// recorded profiles state their parallelism alongside their timings.
+  void set_threads(size_t threads) { threads_ = threads; }
+  size_t threads() const { return threads_; }
+
+  void Clear() {
+    stages_.clear();
+    threads_ = 1;
+  }
 
  private:
   std::vector<std::pair<std::string, double>> stages_;
+  size_t threads_ = 1;
 };
 
 /// RAII helper: times a scope and adds the result to a StageProfile.

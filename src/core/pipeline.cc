@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace leva {
@@ -10,6 +11,10 @@ namespace leva {
 Status LevaPipeline::Fit(const Database& db) {
   Rng rng(config_.seed);
   profile_.Clear();
+  const size_t threads = ResolveThreads(config_.threads);
+  profile_.set_threads(threads);
+  LEVA_LOG(kDebug, "pipeline threads: %zu (requested %zu)", threads,
+           config_.threads);
 
   // Stage 1: input & textification.
   std::vector<TextifiedTable> textified;
@@ -51,6 +56,7 @@ Status LevaPipeline::Fit(const Database& db) {
     ScopedStageTimer timer(&profile_, "factorization");
     MfOptions mf = config_.mf;
     mf.dim = config_.embedding_dim;
+    mf.threads = threads;
     LEVA_ASSIGN_OR_RETURN(node_vectors,
                           MatrixFactorizationEmbed(graph_, mf, &rng));
   } else if (chosen_ == EmbeddingMethod::kLine) {
@@ -64,6 +70,7 @@ Status LevaPipeline::Fit(const Database& db) {
       ScopedStageTimer timer(&profile_, "walk_generation");
       WalkOptions walk_options = config_.walks;
       walk_options.weighted = config_.graph.weighted && walk_options.weighted;
+      walk_options.threads = threads;
       WalkGenerator generator(&graph_, walk_options);
       LEVA_ASSIGN_OR_RETURN(corpus, generator.Generate(&rng));
     }
@@ -71,6 +78,7 @@ Status LevaPipeline::Fit(const Database& db) {
       ScopedStageTimer timer(&profile_, "embedding_training");
       Word2VecOptions w2v = config_.word2vec;
       w2v.dim = config_.embedding_dim;
+      w2v.threads = threads;
       Word2Vec model(w2v);
       LEVA_RETURN_IF_ERROR(model.Train(corpus, graph_.NumNodes(), &rng));
       node_vectors = model.node_vectors();

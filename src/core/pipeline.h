@@ -47,6 +47,11 @@ struct LevaConfig {
   MfOptions mf;
   LineOptions line;
   uint64_t seed = 42;
+  /// Worker threads for every parallel stage (walk generation, Word2Vec,
+  /// SVD matmuls). 0 = hardware_concurrency. All stages except Hogwild
+  /// Word2Vec (see Word2VecOptions::deterministic) produce bit-identical
+  /// results at any thread count for a fixed seed.
+  size_t threads = 0;
 };
 
 /// The Leva system (Fig. 2): textification -> graph construction ->

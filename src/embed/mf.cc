@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "la/decomp.h"
 
 namespace leva {
@@ -132,7 +133,7 @@ SparseMatrix NormalizedAdjacency(const LevaGraph& graph) {
 
 Result<Matrix> SpectralPropagate(const LevaGraph& graph,
                                  const Matrix& embedding, size_t order,
-                                 double mu, double theta) {
+                                 double mu, double theta, size_t threads) {
   if (embedding.rows() != graph.NumNodes()) {
     return Status::InvalidArgument(
         "embedding row count does not match graph node count");
@@ -161,14 +162,14 @@ Result<Matrix> SpectralPropagate(const LevaGraph& graph,
   }
 
   // Chebyshev recurrence on Ltilde = -Anorm.
-  Matrix t_prev = embedding;                      // T0 E
-  Matrix t_cur = anorm.Multiply(embedding);       // Anorm E
-  t_cur.Scale(-1.0);                              // T1 E = Ltilde E
+  Matrix t_prev = embedding;                         // T0 E
+  Matrix t_cur = anorm.Multiply(embedding, threads); // Anorm E
+  t_cur.Scale(-1.0);                                 // T1 E = Ltilde E
   Matrix filtered = t_prev;
   filtered.Scale(coeff[0]);
   filtered.AddScaled(t_cur, coeff[1]);
   for (size_t k = 2; k < order; ++k) {
-    Matrix t_next = anorm.Multiply(t_cur);
+    Matrix t_next = anorm.Multiply(t_cur, threads);
     t_next.Scale(-2.0);
     t_next.AddScaled(t_prev, -1.0);               // 2 Ltilde T_k - T_{k-1}
     filtered.AddScaled(t_next, coeff[k]);
@@ -178,7 +179,7 @@ Result<Matrix> SpectralPropagate(const LevaGraph& graph,
 
   // Final smoothing through the normalized adjacency, as in ProNE's
   // propagation step.
-  return anorm.Multiply(filtered);
+  return anorm.Multiply(filtered, threads);
 }
 
 Result<Matrix> MatrixFactorizationEmbed(const LevaGraph& graph,
@@ -186,12 +187,14 @@ Result<Matrix> MatrixFactorizationEmbed(const LevaGraph& graph,
   if (graph.NumNodes() == 0) {
     return Status::InvalidArgument("empty graph");
   }
+  const size_t threads = ResolveThreads(options.threads);
   const SparseMatrix m = BuildProximityMatrix(
       graph, options.tau, options.window, options.max_row_entries);
   RandomizedSvdOptions svd_options;
   svd_options.rank = options.dim;
   svd_options.oversample = options.oversample;
   svd_options.power_iterations = options.power_iterations;
+  svd_options.threads = threads;
   LEVA_ASSIGN_OR_RETURN(SvdResult svd, RandomizedSVD(m, svd_options, rng));
 
   const size_t rank = svd.singular_values.size();
@@ -203,7 +206,7 @@ Result<Matrix> MatrixFactorizationEmbed(const LevaGraph& graph,
   }
   if (options.spectral_propagation) {
     return SpectralPropagate(graph, e, options.chebyshev_order, options.mu,
-                             options.theta);
+                             options.theta, threads);
   }
   return e;
 }

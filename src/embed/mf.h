@@ -31,6 +31,9 @@ struct MfOptions {
   /// Band-pass filter center / sharpness (ProNE's mu, theta).
   double mu = 0.2;
   double theta = 0.5;
+  /// Worker threads for the SVD / propagation matmuls (0 = hardware).
+  /// Embeddings are bit-identical at every thread count.
+  size_t threads = 1;
 };
 
 /// Builds the shifted-PMI proximity matrix of Section 4.2:
@@ -52,7 +55,7 @@ SparseMatrix NormalizedAdjacency(const LevaGraph& graph);
 /// informative spectral band. (Zhang et al., IJCAI 2019.)
 Result<Matrix> SpectralPropagate(const LevaGraph& graph,
                                  const Matrix& embedding, size_t order,
-                                 double mu, double theta);
+                                 double mu, double theta, size_t threads = 1);
 
 /// Full MF pipeline: proximity matrix -> randomized SVD -> E = U_d Σ_d^{1/2}
 /// -> optional spectral propagation. Returns an N x dim matrix whose rows

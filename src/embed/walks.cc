@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace leva {
 namespace {
 
-// True when `x` is a neighbor of `node` (neighbor lists are sorted).
-bool IsNeighbor(const LevaGraph& g, NodeId node, NodeId x) {
-  const auto nbrs = g.Neighbors(node);
-  return std::binary_search(nbrs.begin(), nbrs.end(), x);
-}
+// Walks per ParallelFor chunk; fixed so chunking never depends on the thread
+// count.
+constexpr size_t kWalkGrain = 64;
 
 }  // namespace
 
@@ -34,7 +35,8 @@ size_t WalkGenerator::AliasMemoryBytes() const {
   return bytes;
 }
 
-NodeId WalkGenerator::Step(NodeId current, NodeId previous, Rng* rng) const {
+NodeId WalkGenerator::Step(NodeId current, NodeId previous,
+                           std::span<const NodeId> prev_nbrs, Rng* rng) const {
   const auto nbrs = graph_->Neighbors(current);
   if (nbrs.empty()) return kInvalidNode;
 
@@ -48,7 +50,9 @@ NodeId WalkGenerator::Step(NodeId current, NodeId previous, Rng* rng) const {
   }
 
   // Node2vec second-order transition: O(deg) per step. The graphs Leva
-  // builds are sparse, so no per-edge alias tables are kept.
+  // builds are sparse, so no per-edge alias tables are kept. `prev_nbrs` is
+  // the previous node's (sorted) neighbor span, fetched once per step by the
+  // caller instead of once per candidate neighbor.
   const auto weights = graph_->Weights(current);
   double total = 0;
   thread_local std::vector<double> probs;
@@ -57,7 +61,8 @@ NodeId WalkGenerator::Step(NodeId current, NodeId previous, Rng* rng) const {
     double bias;
     if (nbrs[i] == previous) {
       bias = 1.0 / options_.p;
-    } else if (IsNeighbor(*graph_, previous, nbrs[i])) {
+    } else if (std::binary_search(prev_nbrs.begin(), prev_nbrs.end(),
+                                  nbrs[i])) {
       bias = 1.0;
     } else {
       bias = 1.0 / options_.q;
@@ -73,20 +78,19 @@ NodeId WalkGenerator::Step(NodeId current, NodeId previous, Rng* rng) const {
   return nbrs.back();
 }
 
-void WalkGenerator::Walk(NodeId start, Rng* rng, std::vector<NodeId>* out) {
+void WalkGenerator::Trajectory(NodeId start, Rng* rng,
+                               std::vector<NodeId>* out) const {
   out->clear();
+  out->reserve(options_.walk_length);
   NodeId prev = kInvalidNode;
+  std::span<const NodeId> prev_nbrs;
   NodeId cur = start;
   for (size_t step = 0; step < options_.walk_length; ++step) {
-    const bool limited = options_.visit_limit > 0 &&
-                         visits_[cur] >= options_.visit_limit;
-    if (!limited) {
-      out->push_back(cur);
-      ++visits_[cur];
-    }
-    const NodeId next = Step(cur, prev, rng);
+    out->push_back(cur);
+    const NodeId next = Step(cur, prev, prev_nbrs, rng);
     if (next == kInvalidNode) break;
     prev = cur;
+    prev_nbrs = graph_->Neighbors(cur);
     cur = next;
   }
 }
@@ -96,6 +100,13 @@ Result<WalkCorpus> WalkGenerator::Generate(Rng* rng) {
   const size_t n = graph_->NumNodes();
   visits_.assign(n, 0);
   WalkCorpus corpus;
+  if (n == 0 || options_.epochs == 0) return corpus;
+
+  const size_t threads = ResolveThreads(options_.threads);
+  // All per-walk and per-epoch streams derive from this one draw, so the
+  // corpus is a pure function of the caller's rng state and never of the
+  // thread count.
+  const uint64_t base_seed = rng->Next();
 
   size_t normal_epochs = options_.epochs;
   size_t restart_epochs = 0;
@@ -103,32 +114,66 @@ Result<WalkCorpus> WalkGenerator::Generate(Rng* rng) {
     restart_epochs = std::min(options_.restart_epochs, options_.epochs);
     normal_epochs = options_.epochs - restart_epochs;
   }
+  // Every epoch (normal and restart) emits up to one walk per node.
   corpus.reserve(options_.epochs * n);
+
+  std::vector<std::vector<NodeId>> batch(n);  // per-walk trajectory slots
+  const auto run_epoch = [&](size_t epoch, const std::vector<NodeId>& starts) {
+    ParallelFor(threads, 0, n, kWalkGrain, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        Rng walk_rng = StreamRng(base_seed, rngdomain::kWalk,
+                                 static_cast<uint64_t>(epoch) * n + i);
+        Trajectory(starts[i], &walk_rng, &batch[i]);
+      }
+    });
+    // Epoch barrier: apply the visit-limit filter sequentially in walk order,
+    // merging per-walk counts into `visits_`. This preserves the sequential
+    // generator's exact guarantee that no node is emitted more than
+    // `visit_limit` times while keeping the stepping above embarrassingly
+    // parallel (trajectories never read `visits_`).
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<NodeId>& traj = batch[i];
+      if (options_.visit_limit == 0) {
+        for (const NodeId cur : traj) ++visits_[cur];
+        if (!traj.empty()) corpus.push_back(std::move(traj));
+        continue;
+      }
+      std::vector<NodeId> walk;
+      walk.reserve(traj.size());
+      for (const NodeId cur : traj) {
+        if (visits_[cur] >= options_.visit_limit) continue;
+        walk.push_back(cur);
+        ++visits_[cur];
+      }
+      if (!walk.empty()) corpus.push_back(std::move(walk));
+    }
+  };
 
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::vector<NodeId> walk;
   for (size_t e = 0; e < normal_epochs; ++e) {
-    rng->Shuffle(&order);
-    for (const NodeId start : order) {
-      Walk(start, rng, &walk);
-      if (!walk.empty()) corpus.push_back(walk);
-    }
+    Rng shuffle_rng = StreamRng(base_seed, rngdomain::kWalkShuffle, e);
+    shuffle_rng.Shuffle(&order);
+    run_epoch(e, order);
   }
 
   if (restart_epochs > 0) {
-    // Worst-represented quartile by visit count so far; restarting from these
-    // nodes balances their representation in the corpus (Section 4.2.2).
-    std::vector<NodeId> by_visits(order);
-    std::sort(by_visits.begin(), by_visits.end(),
-              [&](NodeId a, NodeId b) { return visits_[a] < visits_[b]; });
+    // Worst-represented quartile by merged visit count; restarting from these
+    // nodes balances their representation in the corpus (Section 4.2.2). The
+    // quartile is recomputed at every restart-epoch barrier so each epoch
+    // re-targets the nodes that are worst *now*, not the ones that were worst
+    // before any balancing ran. Ties break by node id so the start list is a
+    // pure function of the merged counts.
+    std::vector<NodeId> by_visits(n);
+    std::vector<NodeId> starts(n);
     const size_t worst = std::max<size_t>(1, n / 4);
     for (size_t e = 0; e < restart_epochs; ++e) {
-      for (size_t i = 0; i < n; ++i) {
-        const NodeId start = by_visits[i % worst];
-        Walk(start, rng, &walk);
-        if (!walk.empty()) corpus.push_back(walk);
-      }
+      std::iota(by_visits.begin(), by_visits.end(), 0);
+      std::sort(by_visits.begin(), by_visits.end(), [&](NodeId a, NodeId b) {
+        return visits_[a] != visits_[b] ? visits_[a] < visits_[b] : a < b;
+      });
+      for (size_t i = 0; i < n; ++i) starts[i] = by_visits[i % worst];
+      run_epoch(normal_epochs + e, starts);
     }
   }
   return corpus;

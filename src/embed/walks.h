@@ -1,6 +1,7 @@
 #ifndef LEVA_EMBED_WALKS_H_
 #define LEVA_EMBED_WALKS_H_
 
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -27,6 +28,10 @@ struct WalkOptions {
   /// Node2vec return / in-out parameters. 1.0/1.0 reduces to a plain walk.
   double p = 1.0;
   double q = 1.0;
+  /// Worker threads sharding each epoch's walks (0 = hardware). Every walk
+  /// draws from its own counter-based RNG stream, so the corpus is
+  /// bit-identical at any thread count for a given seed.
+  size_t threads = 1;
 };
 
 /// A corpus is a list of node-id walks ("sentences" for Word2Vec).
@@ -34,11 +39,21 @@ using WalkCorpus = std::vector<std::vector<NodeId>>;
 
 /// Generates random-walk corpora over a LevaGraph: plain uniform, weighted
 /// (alias tables), balanced-restart, and node2vec-biased second-order walks.
+///
+/// Parallel structure: trajectories only depend on the graph and their own
+/// RNG stream, never on `visits_`, so each epoch's walks are generated
+/// concurrently and the visit-limit emission filter runs as a cheap
+/// sequential pass at the epoch barrier. That keeps the global visit cap
+/// exact (a node is never emitted more than `visit_limit` times) while the
+/// expensive stepping scales across the pool; the balanced-restart quartile
+/// is computed from the counts merged at the barrier.
 class WalkGenerator {
  public:
   WalkGenerator(const LevaGraph* graph, WalkOptions options);
 
-  /// Generates the full corpus. Deterministic given `rng`'s seed.
+  /// Generates the full corpus. Deterministic given `rng`'s state — the base
+  /// seed for all per-walk streams is drawn from it — and independent of
+  /// `options.threads`.
   Result<WalkCorpus> Generate(Rng* rng);
 
   /// Visit counts from the last Generate call (per node).
@@ -49,9 +64,10 @@ class WalkGenerator {
   size_t AliasMemoryBytes() const;
 
  private:
-  // One walk from `start`, appended to the corpus.
-  void Walk(NodeId start, Rng* rng, std::vector<NodeId>* out);
-  NodeId Step(NodeId current, NodeId previous, Rng* rng) const;
+  // The raw node sequence from `start` (before visit-limit filtering).
+  void Trajectory(NodeId start, Rng* rng, std::vector<NodeId>* out) const;
+  NodeId Step(NodeId current, NodeId previous,
+              std::span<const NodeId> prev_nbrs, Rng* rng) const;
 
   const LevaGraph* graph_;
   WalkOptions options_;

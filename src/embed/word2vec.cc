@@ -1,8 +1,10 @@
 #include "embed/word2vec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "graph/alias.h"
 
 namespace leva {
@@ -11,6 +13,9 @@ namespace {
 // Precomputed sigmoid over [-kMaxExp, kMaxExp], the classic word2vec trick.
 constexpr int kExpTableSize = 1000;
 constexpr double kMaxExp = 6.0;
+
+// Sentences per Hogwild shard.
+constexpr size_t kSentenceGrain = 64;
 
 struct SigmoidTable {
   double values[kExpTableSize];
@@ -83,57 +88,93 @@ Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
 
   const size_t total_steps =
       std::max<size_t>(1, options_.epochs * total_tokens);
-  size_t steps = 0;
-  std::vector<double> grad(dim);
-  std::vector<uint32_t> kept;
+  // Global position in the learning-rate schedule. Hogwild workers bump it
+  // with relaxed atomics; in the sequential path it is effectively a plain
+  // counter.
+  std::atomic<size_t> steps{0};
 
-  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    for (const auto& sentence : corpus) {
-      kept.clear();
-      for (const uint32_t t : sentence) {
-        if (keep[t] >= 1.0 || rng->Uniform() < keep[t]) kept.push_back(t);
-      }
-      for (size_t pos = 0; pos < kept.size(); ++pos) {
-        ++steps;
-        const double lr =
-            options_.learning_rate *
-            std::max(1e-4, 1.0 - static_cast<double>(steps) /
-                                     static_cast<double>(total_steps));
-        // Dynamic window shrink, as in the reference implementation.
-        const size_t shrink = rng->UniformInt(options_.window) + 1;
-        const size_t begin = pos >= shrink ? pos - shrink : 0;
-        const size_t end = std::min(kept.size(), pos + shrink + 1);
-        const uint32_t center = kept[pos];
-        double* center_vec = node_.RowPtr(center);
-        for (size_t cpos = begin; cpos < end; ++cpos) {
-          if (cpos == pos) continue;
-          const uint32_t ctx = kept[cpos];
-          std::fill(grad.begin(), grad.end(), 0.0);
-          // Positive pair + `negative` sampled negatives.
-          for (size_t k = 0; k <= options_.negative; ++k) {
-            uint32_t target;
-            double label;
-            if (k == 0) {
-              target = ctx;
-              label = 1.0;
-            } else {
-              target = negative_sampler.Sample(rng);
-              if (target == ctx) continue;
-              label = 0.0;
-            }
-            double* target_vec = context_.RowPtr(target);
-            double dot = 0;
-            for (size_t j = 0; j < dim; ++j) dot += center_vec[j] * target_vec[j];
-            const double g = (label - Sigmoid(dot)) * lr;
-            for (size_t j = 0; j < dim; ++j) {
-              grad[j] += g * target_vec[j];
-              target_vec[j] += g * center_vec[j];
-            }
+  // Skip-gram SGD over one sentence. Shared by the sequential and Hogwild
+  // paths; in the latter, reads/writes of node_/context_ rows are
+  // intentionally unsynchronized (sparse updates collide rarely).
+  auto train_sentence = [&](const std::vector<uint32_t>& sentence, Rng* r,
+                            std::vector<double>* grad,
+                            std::vector<uint32_t>* kept) {
+    kept->clear();
+    for (const uint32_t t : sentence) {
+      if (keep[t] >= 1.0 || r->Uniform() < keep[t]) kept->push_back(t);
+    }
+    for (size_t pos = 0; pos < kept->size(); ++pos) {
+      const size_t step = steps.fetch_add(1, std::memory_order_relaxed) + 1;
+      const double lr =
+          options_.learning_rate *
+          std::max(1e-4, 1.0 - static_cast<double>(step) /
+                                   static_cast<double>(total_steps));
+      // Dynamic window shrink, as in the reference implementation.
+      const size_t shrink = r->UniformInt(options_.window) + 1;
+      const size_t begin = pos >= shrink ? pos - shrink : 0;
+      const size_t end = std::min(kept->size(), pos + shrink + 1);
+      const uint32_t center = (*kept)[pos];
+      double* center_vec = node_.RowPtr(center);
+      for (size_t cpos = begin; cpos < end; ++cpos) {
+        if (cpos == pos) continue;
+        const uint32_t ctx = (*kept)[cpos];
+        std::fill(grad->begin(), grad->end(), 0.0);
+        // Positive pair + `negative` sampled negatives.
+        for (size_t k = 0; k <= options_.negative; ++k) {
+          uint32_t target;
+          double label;
+          if (k == 0) {
+            target = ctx;
+            label = 1.0;
+          } else {
+            target = negative_sampler.Sample(r);
+            if (target == ctx) continue;
+            label = 0.0;
           }
-          for (size_t j = 0; j < dim; ++j) center_vec[j] += grad[j];
+          double* target_vec = context_.RowPtr(target);
+          double dot = 0;
+          for (size_t j = 0; j < dim; ++j) dot += center_vec[j] * target_vec[j];
+          const double g = (label - Sigmoid(dot)) * lr;
+          for (size_t j = 0; j < dim; ++j) {
+            (*grad)[j] += g * target_vec[j];
+            target_vec[j] += g * center_vec[j];
+          }
         }
+        for (size_t j = 0; j < dim; ++j) center_vec[j] += (*grad)[j];
       }
     }
+  };
+
+  const size_t threads = ResolveThreads(options_.threads);
+  if (threads <= 1 || options_.deterministic) {
+    // Sequential update order: bit-identical at any requested thread count.
+    std::vector<double> grad(dim);
+    std::vector<uint32_t> kept;
+    for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      for (const auto& sentence : corpus) {
+        train_sentence(sentence, rng, &grad, &kept);
+      }
+    }
+    return Status::OK();
+  }
+
+  // Hogwild: shard sentences across the pool with a per-shard RNG stream.
+  // The stream layout (base seed, epoch, shard) is thread-count invariant,
+  // but the unsynchronized weight updates are not — see Word2VecOptions.
+  const uint64_t base_seed = rng->Next();
+  const size_t shards = (corpus.size() + kSentenceGrain - 1) / kSentenceGrain;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    ParallelFor(threads, 0, corpus.size(), kSentenceGrain,
+                [&](size_t b, size_t e) {
+                  const size_t shard = b / kSentenceGrain;
+                  Rng shard_rng = StreamRng(base_seed, rngdomain::kWord2Vec,
+                                            epoch * shards + shard);
+                  std::vector<double> grad(dim);
+                  std::vector<uint32_t> kept;
+                  for (size_t s = b; s < e; ++s) {
+                    train_sentence(corpus[s], &shard_rng, &grad, &kept);
+                  }
+                });
   }
   return Status::OK();
 }

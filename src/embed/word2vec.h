@@ -25,6 +25,17 @@ struct Word2VecOptions {
   size_t epochs = 3;
   /// Unigram distortion exponent for the negative-sampling distribution.
   double unigram_power = 0.75;
+  /// Worker threads (0 = hardware). With more than one thread and
+  /// `deterministic == false`, sentence shards are trained Hogwild-style:
+  /// lock-free SGD on the shared weight matrices (Recht et al. 2011). Sparse
+  /// gradients make update collisions rare, so quality matches sequential
+  /// training, but the floating-point result depends on interleaving and is
+  /// NOT reproducible run-to-run.
+  size_t threads = 1;
+  /// Forces the sequential update order even when `threads > 1`, trading the
+  /// Hogwild speedup for bit-identical results at any thread count. The
+  /// pipeline determinism suite exercises this mode.
+  bool deterministic = false;
 };
 
 class Word2Vec {

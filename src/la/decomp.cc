@@ -112,10 +112,10 @@ Result<EigenResult> SymmetricEigen(const Matrix& a, size_t max_sweeps,
   return result;
 }
 
-Result<SvdResult> ThinSVD(const Matrix& a) {
+Result<SvdResult> ThinSVD(const Matrix& a, size_t threads) {
   // Gram-matrix approach: AᵀA = V Σ² Vᵀ, U = A V Σ⁻¹. Adequate because Leva
   // only feeds in matrices with few (<= few hundred) columns.
-  const Matrix gram = MatTMul(a, a);
+  const Matrix gram = MatTMul(a, a, threads);
   LEVA_ASSIGN_OR_RETURN(EigenResult eig, SymmetricEigen(gram));
 
   const size_t n = a.cols();
@@ -123,7 +123,7 @@ Result<SvdResult> ThinSVD(const Matrix& a) {
   out.singular_values.resize(n);
   out.v = eig.eigenvectors;
   out.u = Matrix(a.rows(), n);
-  const Matrix av = MatMul(a, eig.eigenvectors);
+  const Matrix av = MatMul(a, eig.eigenvectors, threads);
   for (size_t j = 0; j < n; ++j) {
     const double s = std::sqrt(std::max(0.0, eig.eigenvalues[j]));
     out.singular_values[j] = s;
@@ -143,19 +143,20 @@ Result<SvdResult> RandomizedSVD(const SparseMatrix& a,
   if (k == 0) return Status::InvalidArgument("empty matrix");
 
   // Stage A: randomized range finder with power iterations.
+  const size_t threads = options.threads;
   Matrix omega = Matrix::GaussianRandom(a.cols(), k, rng);
-  Matrix y = a.Multiply(omega);
+  Matrix y = a.Multiply(omega, threads);
   for (size_t it = 0; it < options.power_iterations; ++it) {
     y = GramSchmidtQ(y);  // re-orthonormalize to avoid collapse
-    Matrix z = a.TransposeMultiply(y);
-    y = a.Multiply(z);
+    Matrix z = a.TransposeMultiply(y, threads);
+    y = a.Multiply(z, threads);
   }
   const Matrix q = GramSchmidtQ(y);
 
   // Stage B: B = QᵀA, factor exactly in the reduced space.
   // Bᵀ = Aᵀ Q has shape (cols x k): small enough for the Gram-based ThinSVD.
-  const Matrix bt = a.TransposeMultiply(q);  // n x k
-  LEVA_ASSIGN_OR_RETURN(SvdResult small, ThinSVD(bt));
+  const Matrix bt = a.TransposeMultiply(q, threads);  // n x k
+  LEVA_ASSIGN_OR_RETURN(SvdResult small, ThinSVD(bt, threads));
   // Bᵀ = (V_b) Σ (U_b)ᵀ where small.u = V of B, small.v = U of B.
   const size_t rank = std::min(options.rank, k);
   SvdResult out;
@@ -167,7 +168,7 @@ Result<SvdResult> RandomizedSVD(const SparseMatrix& a,
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = 0; j < rank; ++j) ub(i, j) = small.v(i, j);
   }
-  out.u = MatMul(q, ub);
+  out.u = MatMul(q, ub, threads);
   out.v = Matrix(a.cols(), rank);
   for (size_t i = 0; i < a.cols(); ++i) {
     for (size_t j = 0; j < rank; ++j) out.v(i, j) = small.u(i, j);
@@ -175,7 +176,7 @@ Result<SvdResult> RandomizedSVD(const SparseMatrix& a,
   return out;
 }
 
-Result<PCA> PCA::Fit(const Matrix& x, size_t components) {
+Result<PCA> PCA::Fit(const Matrix& x, size_t components, size_t threads) {
   if (x.rows() == 0 || x.cols() == 0) {
     return Status::InvalidArgument("PCA needs a non-empty matrix");
   }
@@ -193,7 +194,7 @@ Result<PCA> PCA::Fit(const Matrix& x, size_t components) {
   for (size_t r = 0; r < x.rows(); ++r) {
     for (size_t c = 0; c < d; ++c) centered(r, c) -= pca.mean_[c];
   }
-  const Matrix cov = MatTMul(centered, centered);
+  const Matrix cov = MatTMul(centered, centered, threads);
   LEVA_ASSIGN_OR_RETURN(EigenResult eig, SymmetricEigen(cov));
 
   pca.basis_ = Matrix(d, components);

@@ -32,7 +32,7 @@ struct SvdResult {
   std::vector<double> singular_values;  // descending
   Matrix v;                         // n x k
 };
-Result<SvdResult> ThinSVD(const Matrix& a);
+Result<SvdResult> ThinSVD(const Matrix& a, size_t threads = 1);
 
 /// Randomized truncated SVD of a sparse matrix (Halko, Martinsson, Tropp
 /// 2010): range finding with a Gaussian sketch, `power_iterations` rounds of
@@ -42,6 +42,9 @@ struct RandomizedSvdOptions {
   size_t rank = 100;
   size_t oversample = 10;
   size_t power_iterations = 2;
+  /// Worker threads for the sketch/power-iteration matmuls. Results are
+  /// bit-identical at every thread count (see la/sparse.h).
+  size_t threads = 1;
 };
 Result<SvdResult> RandomizedSVD(const SparseMatrix& a,
                                 const RandomizedSvdOptions& options, Rng* rng);
@@ -50,8 +53,10 @@ Result<SvdResult> RandomizedSVD(const SparseMatrix& a,
 /// (Table 7) and as a deployment-time option (Section 4.4).
 class PCA {
  public:
-  /// Fits `components` principal directions on the rows of `x`.
-  static Result<PCA> Fit(const Matrix& x, size_t components);
+  /// Fits `components` principal directions on the rows of `x`. `threads`
+  /// parallelizes the covariance matmul; deterministic at any thread count.
+  static Result<PCA> Fit(const Matrix& x, size_t components,
+                         size_t threads = 1);
 
   /// Projects rows of `x` onto the fitted components.
   Matrix Transform(const Matrix& x) const;

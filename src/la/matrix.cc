@@ -3,7 +3,16 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace leva {
+namespace {
+
+// Rows per ParallelFor chunk. Fixed (never thread-count dependent) so the
+// partitioning — and hence any floating-point evaluation order — is stable.
+constexpr size_t kRowGrain = 16;
+
+}  // namespace
 
 Matrix Matrix::Identity(size_t n) {
   Matrix m(n, n);
@@ -41,35 +50,42 @@ void Matrix::Scale(double alpha) {
   for (double& v : data_) v *= alpha;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+Matrix MatMul(const Matrix& a, const Matrix& b, size_t threads) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  // ikj loop order: streams through b row-wise for cache friendliness.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.RowPtr(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  // ikj loop order per output row: streams through b row-wise for cache
+  // friendliness; rows are independent, so sharding them is race-free.
+  ParallelFor(threads, 0, a.rows(), kRowGrain, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      double* crow = c.RowPtr(i);
+      for (size_t k = 0; k < a.cols(); ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
-Matrix MatTMul(const Matrix& a, const Matrix& b) {
+Matrix MatTMul(const Matrix& a, const Matrix& b, size_t threads) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.RowPtr(k);
-    const double* brow = b.RowPtr(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
+  // Each output row i accumulates over all of a's rows k in increasing order,
+  // matching the sequential k-outer formulation bit-for-bit while keeping
+  // output rows disjoint across threads.
+  ParallelFor(threads, 0, a.cols(), kRowGrain, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
       double* crow = c.RowPtr(i);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      for (size_t k = 0; k < a.rows(); ++k) {
+        const double aki = a(k, i);
+        if (aki == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 

@@ -48,10 +48,12 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// C = A * B.
-Matrix MatMul(const Matrix& a, const Matrix& b);
-/// C = Aᵀ * B.
-Matrix MatTMul(const Matrix& a, const Matrix& b);
+/// C = A * B. Row-partitioned over `threads` workers; each output row is
+/// accumulated by exactly one thread in a fixed order, so the result is
+/// bit-identical at every thread count.
+Matrix MatMul(const Matrix& a, const Matrix& b, size_t threads = 1);
+/// C = Aᵀ * B, with the same row-partitioned determinism guarantee.
+Matrix MatTMul(const Matrix& a, const Matrix& b, size_t threads = 1);
 
 }  // namespace leva
 

@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace leva {
+namespace {
+
+constexpr size_t kRowGrain = 64;
+
+// Fixed chunk count for the transpose scatter. A pure function of the row
+// count (never the thread count), so the partial-merge order — and thus the
+// floating-point result — is identical however many workers execute it.
+size_t TransposeChunks(size_t rows) {
+  constexpr size_t kMaxChunks = 8;
+  constexpr size_t kMinRowsPerChunk = 256;
+  return std::clamp<size_t>(rows / kMinRowsPerChunk, 1, kMaxChunks);
+}
+
+}  // namespace
 
 SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
                                         std::vector<Triplet> triplets) {
@@ -34,31 +51,61 @@ SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
   return m;
 }
 
-Matrix SparseMatrix::Multiply(const Matrix& x) const {
+Matrix SparseMatrix::Multiply(const Matrix& x, size_t threads) const {
   assert(x.rows() == cols_);
   Matrix y(rows_, x.cols());
-  for (size_t r = 0; r < rows_; ++r) {
-    double* yrow = y.RowPtr(r);
-    for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
-      const double v = values_[i];
-      const double* xrow = x.RowPtr(cols_idx_[i]);
-      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+  ParallelFor(threads, 0, rows_, kRowGrain, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      double* yrow = y.RowPtr(r);
+      for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+        const double v = values_[i];
+        const double* xrow = x.RowPtr(cols_idx_[i]);
+        for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+      }
     }
-  }
+  });
   return y;
 }
 
-Matrix SparseMatrix::TransposeMultiply(const Matrix& x) const {
+Matrix SparseMatrix::TransposeMultiply(const Matrix& x, size_t threads) const {
   assert(x.rows() == rows_);
-  Matrix y(cols_, x.cols());
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* xrow = x.RowPtr(r);
-    for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
-      const double v = values_[i];
-      double* yrow = y.RowPtr(cols_idx_[i]);
-      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+  const size_t chunks = TransposeChunks(rows_);
+  if (chunks == 1) {
+    Matrix y(cols_, x.cols());
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* xrow = x.RowPtr(r);
+      for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+        const double v = values_[i];
+        double* yrow = y.RowPtr(cols_idx_[i]);
+        for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+      }
     }
+    return y;
   }
+
+  // Scatter each fixed row-chunk into its own partial, then merge partials in
+  // chunk order. The chunk layout and the merge are both thread-count
+  // invariant, so the result is reproducible (though the summation order
+  // differs from the single-chunk path, which small matrices take).
+  const size_t rows_per_chunk = (rows_ + chunks - 1) / chunks;
+  std::vector<Matrix> partials(chunks);
+  ParallelFor(threads, 0, chunks, 1, [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      partials[c] = Matrix(cols_, x.cols());
+      Matrix& y = partials[c];
+      const size_t r_end = std::min(rows_, (c + 1) * rows_per_chunk);
+      for (size_t r = c * rows_per_chunk; r < r_end; ++r) {
+        const double* xrow = x.RowPtr(r);
+        for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+          const double v = values_[i];
+          double* yrow = y.RowPtr(cols_idx_[i]);
+          for (size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+        }
+      }
+    }
+  });
+  Matrix y = std::move(partials[0]);
+  for (size_t c = 1; c < chunks; ++c) y.AddScaled(partials[c], 1.0);
   return y;
 }
 

@@ -30,10 +30,14 @@ class SparseMatrix {
   size_t cols() const { return cols_; }
   size_t nnz() const { return values_.size(); }
 
-  /// Y = this * X  (X: cols() x k dense).
-  Matrix Multiply(const Matrix& x) const;
-  /// Y = thisᵀ * X  (X: rows() x k dense).
-  Matrix TransposeMultiply(const Matrix& x) const;
+  /// Y = this * X  (X: cols() x k dense). Output rows are sharded across
+  /// `threads` workers; bit-identical at every thread count.
+  Matrix Multiply(const Matrix& x, size_t threads = 1) const;
+  /// Y = thisᵀ * X  (X: rows() x k dense). The CSR scatter crosses output
+  /// rows, so the rows are split into a fixed number of chunks (a function of
+  /// the matrix shape only), each accumulated into a private partial that is
+  /// merged in chunk order — deterministic at every thread count.
+  Matrix TransposeMultiply(const Matrix& x, size_t threads = 1) const;
 
   /// Value at (r, c), 0 when absent. O(log deg) lookup.
   double At(size_t r, size_t c) const;

@@ -1,5 +1,7 @@
 #include "ml/gridsearch.h"
 
+#include "common/parallel.h"
+
 namespace leva {
 
 std::vector<ParamSet> BuildParamGrid(
@@ -24,7 +26,9 @@ Result<GridSearchResult> GridSearchCV(const ModelFactory& factory,
                                       const std::vector<ParamSet>& grid,
                                       const MLDataset& data, size_t folds,
                                       const ScoreFn& score,
-                                      bool higher_is_better, Rng* rng) {
+                                      bool higher_is_better, Rng* rng,
+                                      size_t threads) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
   if (grid.empty()) return Status::InvalidArgument("empty parameter grid");
   if (folds < 2) return Status::InvalidArgument("need >= 2 folds");
   if (data.NumRows() < folds) {
@@ -32,30 +36,52 @@ Result<GridSearchResult> GridSearchCV(const ModelFactory& factory,
   }
   const auto fold_indices = KFoldIndices(data.NumRows(), folds, rng);
 
+  // Every candidate sees the same folds; fit (ci, f) uses stream
+  // (base, ci * folds + f), so scores never depend on evaluation order.
+  const uint64_t base_seed = rng->Next();
+  std::vector<double> means(grid.size(), 0.0);
+  std::vector<Status> statuses(grid.size(), Status::OK());
+  ParallelFor(
+      ResolveThreads(threads), 0, grid.size(), 1, [&](size_t c0, size_t c1) {
+        for (size_t ci = c0; ci < c1; ++ci) {
+          double total = 0;
+          for (size_t f = 0; f < folds; ++f) {
+            std::vector<size_t> train_rows;
+            for (size_t g = 0; g < folds; ++g) {
+              if (g == f) continue;
+              train_rows.insert(train_rows.end(), fold_indices[g].begin(),
+                                fold_indices[g].end());
+            }
+            const MLDataset train = data.Subset(train_rows);
+            const MLDataset valid = data.Subset(fold_indices[f]);
+            std::unique_ptr<Model> model = factory(grid[ci]);
+            if (model == nullptr) {
+              statuses[ci] = Status::Internal("factory returned null");
+              break;
+            }
+            Rng fit_rng =
+                StreamRng(base_seed, rngdomain::kGridSearch, ci * folds + f);
+            if (Status s = model->Fit(train.x, train.y, &fit_rng); !s.ok()) {
+              statuses[ci] = std::move(s);
+              break;
+            }
+            total += score(valid.y, model->Predict(valid.x));
+          }
+          means[ci] = total / static_cast<double>(folds);
+        }
+      });
+  for (const Status& s : statuses) {
+    LEVA_RETURN_IF_ERROR(s);
+  }
+
   GridSearchResult result;
   bool first = true;
-  for (const ParamSet& params : grid) {
-    double total = 0;
-    for (size_t f = 0; f < folds; ++f) {
-      std::vector<size_t> train_rows;
-      for (size_t g = 0; g < folds; ++g) {
-        if (g == f) continue;
-        train_rows.insert(train_rows.end(), fold_indices[g].begin(),
-                          fold_indices[g].end());
-      }
-      const MLDataset train = data.Subset(train_rows);
-      const MLDataset valid = data.Subset(fold_indices[f]);
-      std::unique_ptr<Model> model = factory(params);
-      if (model == nullptr) return Status::Internal("factory returned null");
-      LEVA_RETURN_IF_ERROR(model->Fit(train.x, train.y, rng));
-      total += score(valid.y, model->Predict(valid.x));
-    }
-    const double mean = total / static_cast<double>(folds);
-    const bool better = higher_is_better ? mean > result.best_score
-                                         : mean < result.best_score;
+  for (size_t ci = 0; ci < grid.size(); ++ci) {
+    const bool better = higher_is_better ? means[ci] > result.best_score
+                                         : means[ci] < result.best_score;
     if (first || better) {
-      result.best_score = mean;
-      result.best_params = params;
+      result.best_score = means[ci];
+      result.best_params = grid[ci];
       first = false;
     }
   }

@@ -33,12 +33,17 @@ struct GridSearchResult {
 
 /// K-fold cross-validated grid search, the paper's hyper-parameter selection
 /// protocol ("best performance after configuring model hyper-parameters using
-/// grid search").
+/// grid search"). Candidates are evaluated in parallel across `threads`
+/// workers (0 = hardware); every (candidate, fold) fit draws from its own
+/// counter-based RNG stream and ties resolve to the earliest grid entry, so
+/// the selected winner is identical at any thread count. With `threads > 1`,
+/// `factory` and `score` are invoked concurrently and must be thread-safe.
 Result<GridSearchResult> GridSearchCV(const ModelFactory& factory,
                                       const std::vector<ParamSet>& grid,
                                       const MLDataset& data, size_t folds,
                                       const ScoreFn& score,
-                                      bool higher_is_better, Rng* rng);
+                                      bool higher_is_better, Rng* rng,
+                                      size_t threads = 1);
 
 /// Convenience: fits `factory(best)` on `train` and scores on `test`.
 Result<double> FitAndScore(const ModelFactory& factory, const ParamSet& params,

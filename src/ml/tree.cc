@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "common/parallel.h"
+
 namespace leva {
 namespace {
 
@@ -211,28 +213,41 @@ std::vector<double> DecisionTree::Predict(const Matrix& x) const {
 
 Status RandomForest::Fit(const Matrix& x, const std::vector<double>& y,
                          Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
   if (x.rows() == 0) return Status::InvalidArgument("empty training set");
   num_features_ = x.cols();
   trees_.clear();
-  trees_.reserve(options_.num_trees);
+  trees_.assign(options_.num_trees, DecisionTree(options_.tree));
 
   TreeOptions tree_options = options_.tree;
   if (tree_options.max_features == 0) {
     tree_options.max_features = static_cast<size_t>(
         std::max(1.0, std::sqrt(static_cast<double>(x.cols()))));
   }
-  for (size_t t = 0; t < options_.num_trees; ++t) {
-    std::vector<size_t> rows(x.rows());
-    if (options_.bootstrap) {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        rows[i] = rng->UniformInt(x.rows());
+
+  // Tree t's bootstrap sample and split choices come from stream (base, t),
+  // so the ensemble is independent of how trees are scheduled across threads.
+  const uint64_t base_seed = rng->Next();
+  const size_t threads = ResolveThreads(options_.threads);
+  std::vector<Status> statuses(options_.num_trees, Status::OK());
+  ParallelFor(threads, 0, options_.num_trees, 1, [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      Rng tree_rng = StreamRng(base_seed, rngdomain::kForest, t);
+      std::vector<size_t> rows(x.rows());
+      if (options_.bootstrap) {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          rows[i] = tree_rng.UniformInt(x.rows());
+        }
+      } else {
+        for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
       }
-    } else {
-      for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+      DecisionTree tree(tree_options);
+      statuses[t] = tree.FitRows(x, y, std::move(rows), &tree_rng);
+      trees_[t] = std::move(tree);
     }
-    DecisionTree tree(tree_options);
-    LEVA_RETURN_IF_ERROR(tree.FitRows(x, y, std::move(rows), rng));
-    trees_.push_back(std::move(tree));
+  });
+  for (const Status& s : statuses) {
+    LEVA_RETURN_IF_ERROR(s);
   }
   return Status::OK();
 }

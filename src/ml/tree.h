@@ -64,6 +64,10 @@ struct ForestOptions {
   size_t num_trees = 50;
   bool bootstrap = true;
   TreeOptions tree;
+  /// Worker threads for per-tree fitting (0 = hardware). Each tree draws its
+  /// bootstrap sample and splits from its own counter-based RNG stream, so
+  /// the fitted forest is bit-identical at any thread count.
+  size_t threads = 1;
 };
 
 class RandomForest : public Model {

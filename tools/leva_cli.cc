@@ -4,18 +4,20 @@
 //   leva_cli --table orders=orders.csv --table customers=customers.csv \
 //            [--dim 100] [--method auto|mf|rw] [--bins 50] \
 //            [--theta-range 0.5] [--theta-min 0.05] [--unweighted] \
-//            [--featurize base_table target_column out.csv] \
+//            [--threads N] [--featurize base_table target_column out.csv] \
 //            --output embedding.txt
 //
 // With --featurize, the base table is additionally encoded with the trained
 // embedding and written as a plain numeric CSV (emb0..embN plus the target),
 // ready for any external ML tool.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/pipeline.h"
 #include "ml/featurize.h"
 #include "table/csv.h"
@@ -38,7 +40,8 @@ void PrintUsage() {
       "usage: leva_cli --table NAME=FILE.csv [--table ...] --output EMB.txt\n"
       "                [--dim N] [--method auto|mf|rw] [--bins N]\n"
       "                [--theta-range F] [--theta-min F] [--unweighted]\n"
-      "                [--seed N] [--featurize TABLE TARGET OUT.csv]\n");
+      "                [--seed N] [--threads N (0 = all hardware threads)]\n"
+      "                [--featurize TABLE TARGET OUT.csv]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -90,6 +93,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--seed");
       if (v == nullptr) return false;
       options->config.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0 || parsed > 4096) {
+        std::fprintf(stderr,
+                     "--threads expects an integer in [0, 4096], got '%s'\n",
+                     v);
+        return false;
+      }
+      options->config.threads = static_cast<size_t>(parsed);
     } else if (arg == "--method") {
       const char* v = next("--method");
       if (v == nullptr) return false;
@@ -120,6 +135,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 }
 
 int RunCli(const CliOptions& options) {
+  // Run header: record parallelism so benchmark logs are self-describing.
+  std::fprintf(stderr, "leva_cli: seed=%llu threads=%zu (resolved %zu)\n",
+               static_cast<unsigned long long>(options.config.seed),
+               options.config.threads, ResolveThreads(options.config.threads));
   Database db;
   for (const auto& [name, path] : options.tables) {
     auto table = ReadCsvFile(path, name);
