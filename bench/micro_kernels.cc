@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "core/pipeline.h"
 #include "datagen/synthetic.h"
 #include "embed/mf.h"
 #include "embed/walks.h"
@@ -11,6 +12,7 @@
 #include "graph/graph.h"
 #include "la/decomp.h"
 #include "la/sparse.h"
+#include "ml/featurize.h"
 #include "text/textifier.h"
 
 namespace leva {
@@ -174,6 +176,81 @@ void BM_WalkGenerationThreads(benchmark::State& state) {
                           static_cast<int64_t>(f.graph.NumNodes()) * 20);
 }
 BENCHMARK(BM_WalkGenerationThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// FeaturizeThroughput: serving-path rows/sec, legacy row-at-a-time vs the
+// batched fast path (column-wise textify + token interning + blocked
+// parallel gather). The `items_per_second` column is the throughput table
+// recorded in EXPERIMENTS.md. Args are {threads, rows_in_graph}.
+// ---------------------------------------------------------------------------
+
+struct FeaturizeFixture {
+  SyntheticDataset data;
+  LevaPipeline pipeline;
+  TargetEncoder encoder;
+  const Table* base = nullptr;
+
+  FeaturizeFixture() {
+    SyntheticConfig c;
+    c.base_rows = 2000;
+    c.dims = {
+        {.name = "d1", .rows = 300, .predictive_numeric = 2,
+         .predictive_categorical = 2, .noise_numeric = 1,
+         .noise_categorical = 1, .categories = 10, .parent = ""},
+        {.name = "d2", .rows = 300, .predictive_numeric = 1,
+         .predictive_categorical = 1, .noise_numeric = 1,
+         .noise_categorical = 1, .categories = 10, .parent = ""},
+    };
+    c.seed = 3;
+    data = std::move(GenerateSynthetic(c).value());
+    LevaConfig lc;
+    lc.method = EmbeddingMethod::kMatrixFactorization;
+    lc.embedding_dim = 64;
+    lc.threads = 1;
+    pipeline = LevaPipeline(lc);
+    (void)pipeline.Fit(data.db);
+    base = data.db.FindTable(data.base_table);
+    (void)encoder.Fit(*base->FindColumn(data.target_column),
+                      data.classification);
+  }
+};
+
+FeaturizeFixture& GetFeaturizeFixture() {
+  static FeaturizeFixture* fixture = new FeaturizeFixture();
+  return *fixture;
+}
+
+void BM_FeaturizeLegacy(benchmark::State& state) {
+  FeaturizeFixture& f = GetFeaturizeFixture();
+  const bool rows_in_graph = state.range(0) != 0;
+  f.pipeline.set_serving_options(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pipeline.FeaturizeLegacy(
+        *f.base, f.data.target_column, f.encoder, rows_in_graph));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.base->NumRows()));
+}
+BENCHMARK(BM_FeaturizeLegacy)->Arg(0)->Arg(1);
+
+void BM_FeaturizeBatched(benchmark::State& state) {
+  FeaturizeFixture& f = GetFeaturizeFixture();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const bool rows_in_graph = state.range(1) != 0;
+  f.pipeline.set_serving_options(threads, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pipeline.Featurize(
+        *f.base, f.data.target_column, f.encoder, rows_in_graph));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.base->NumRows()));
+}
+BENCHMARK(BM_FeaturizeBatched)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1});
 
 }  // namespace
 }  // namespace leva

@@ -7,9 +7,16 @@ Result<MLDataset> FeaturizeWithModel(const EmbeddingModel& model,
                                      const std::string& target_column,
                                      const TargetEncoder& encoder,
                                      bool rows_in_graph) {
+  return model.Featurize(table, target_column, encoder, rows_in_graph);
+}
+
+Result<MLDataset> EmbeddingModel::Featurize(const Table& table,
+                                            const std::string& target_column,
+                                            const TargetEncoder& encoder,
+                                            bool rows_in_graph) const {
   LEVA_ASSIGN_OR_RETURN(const size_t target_idx,
                         table.ColumnIndex(target_column));
-  const size_t width = model.dim();
+  const size_t width = dim();
   MLDataset ds;
   ds.classification = encoder.classification();
   ds.num_classes = encoder.classification() ? encoder.num_classes() : 2;
@@ -21,7 +28,7 @@ Result<MLDataset> FeaturizeWithModel(const EmbeddingModel& model,
   for (size_t r = 0; r < table.NumRows(); ++r) {
     LEVA_ASSIGN_OR_RETURN(
         const std::vector<double> vec,
-        model.RowVector(table, r, target_column, rows_in_graph));
+        RowVector(table, r, target_column, rows_in_graph));
     if (vec.size() != width) {
       return Status::Internal("row vector width mismatch");
     }

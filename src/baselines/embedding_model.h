@@ -32,9 +32,17 @@ class EmbeddingModel {
 
   /// The underlying token/row embedding store.
   virtual const Embedding& embedding() const = 0;
+
+  /// Builds the full MLDataset for `table`. The default walks RowVector row
+  /// by row; models with a batched serving path (LevaModel) override it.
+  virtual Result<MLDataset> Featurize(const Table& table,
+                                      const std::string& target_column,
+                                      const TargetEncoder& encoder,
+                                      bool rows_in_graph) const;
 };
 
-/// Builds an MLDataset by calling `model->RowVector` on every row of `table`.
+/// Builds an MLDataset via `model.Featurize` (batched when the model
+/// provides a fast path, row-at-a-time otherwise).
 Result<MLDataset> FeaturizeWithModel(const EmbeddingModel& model,
                                      const Table& table,
                                      const std::string& target_column,

@@ -20,6 +20,15 @@ class LevaModel : public EmbeddingModel {
     return pipeline_.RowVector(table, row, target_column, rows_in_graph);
   }
 
+  /// Batched fast path: column-wise textify + interned token resolution +
+  /// blocked parallel gather, bit-identical to the row-at-a-time default.
+  Result<MLDataset> Featurize(const Table& table,
+                              const std::string& target_column,
+                              const TargetEncoder& encoder,
+                              bool rows_in_graph) const override {
+    return pipeline_.Featurize(table, target_column, encoder, rows_in_graph);
+  }
+
   size_t dim() const override {
     return pipeline_.config().featurization == Featurization::kRowPlusValue
                ? 2 * pipeline_.embedding().dim()

@@ -8,6 +8,16 @@
 
 namespace leva {
 
+/// Transparent hash for string-keyed unordered maps so lookups accept a
+/// std::string_view without materializing a std::string (C++20 heterogeneous
+/// unordered lookup; pair with std::equal_to<> as the key-equal).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Splits `s` on `delim`, keeping empty fields.
 std::vector<std::string> Split(std::string_view s, char delim);
 

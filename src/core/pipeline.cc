@@ -5,8 +5,135 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "core/token_resolver.h"
 
 namespace leva {
+namespace {
+
+// Rows per ParallelFor chunk in the batched gather. Small enough to balance
+// across workers on modest tables and to keep a chunk's output rows
+// cache-resident through the column passes, large enough to amortize
+// dispatch.
+constexpr size_t kFeaturizeGrain = 64;
+
+// Distinct tokens the serving resolver cache may hold before it is evicted
+// wholesale (entry + key + slot is ~70 bytes, so this is a few hundred MB at
+// the cap — far beyond any fitted vocabulary that fits in the store anyway).
+constexpr size_t kResolverCacheCap = size_t{1} << 22;
+
+std::vector<std::string> FeatureNames(size_t dim, size_t width) {
+  std::vector<std::string> names;
+  names.reserve(width);
+  for (size_t j = 0; j < dim; ++j) names.push_back("emb" + std::to_string(j));
+  if (width == 2 * dim) {
+    for (size_t j = 0; j < dim; ++j) names.push_back("val" + std::to_string(j));
+  }
+  return names;
+}
+
+// How many occurrences ahead the gather prefetches embedding rows. The
+// resolved arrays are padded by this much so the loop needs no bounds check.
+constexpr size_t kPrefetchDist = 4;
+
+#if defined(__GNUC__)
+#define LEVA_PREFETCH(p) __builtin_prefetch(p)
+#else
+#define LEVA_PREFETCH(p)
+#endif
+
+// Resolved occurrences of one textified column over a batch of rows:
+// (embedding row pointer, weight) per token — null for unseen tokens — with
+// offsets local to the batch. Resolving down to raw row pointers in phase 1
+// turns the phase-2 gather into a flat array walk whose loads software
+// prefetch can cover.
+struct ResolvedColumn {
+  struct Occ {
+    const double* vec;
+    double weight;
+  };
+  std::vector<Occ> occ;
+  std::vector<size_t> offsets;
+};
+
+// Runtime-dispatched SIMD clones for the two dense inner loops of the
+// gather. vmulpd/vaddpd/vdivpd are correctly-rounded element-wise IEEE
+// operations, so the avx2 clone produces the same bits as the scalar loop.
+// FMA-capable targets (e.g. avx512f) are deliberately excluded: contracting
+// mul+add into a single-rounding fma would change the bits.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define LEVA_TARGET_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define LEVA_TARGET_CLONES
+#endif
+
+// Weighted-mean gather over one chunk of rows [begin, end): accumulate every
+// resolved token of every column into a chunk-local row buffer, divide by the
+// accumulated weight, and store the scaled vector into the value slot (column
+// offset `off`) of its row in the row-major matrix `x` (row stride `width`).
+// Accumulating in the L1-resident buffer instead of the matrix row turns ~one
+// read-modify-write pass per column plus a division pass into a single store
+// per output element. Per row the accumulation order is untouched — columns
+// in schema order, tokens in cell order, then one division — so the bits
+// match the row-at-a-time path, which also does the separately-rounded
+// mul+add and a final per-element division (not a multiply by the
+// reciprocal). Rows of `x` must be zero on entry (freshly allocated dataset
+// rows are): a row with no resolved tokens is left untouched. One clone
+// dispatch covers the whole chunk, so no per-token indirect calls.
+// When `dup_to_row` is set (held-out rows under Row+Value), the scaled
+// vector is stored to the row half in the same pass instead of a separate
+// copy loop — same values, one less sweep over the matrix.
+LEVA_TARGET_CLONES
+void GatherChunk(const ResolvedColumn* cols, size_t num_cols, size_t dim,
+                 double* x, size_t width, size_t off, size_t b0, size_t begin,
+                 size_t end, bool dup_to_row) {
+  std::vector<double> acc(dim);  // zero-initialized; re-zeroed after each row
+  for (size_t r = begin; r < end; ++r) {
+    double* __restrict a = acc.data();
+    double total_weight = 0.0;
+    bool touched = false;
+    for (size_t c = 0; c < num_cols; ++c) {
+      const ResolvedColumn& col = cols[c];
+      const size_t cell_end = col.offsets[r - b0 + 1];
+      for (size_t t = col.offsets[r - b0]; t < cell_end; ++t) {
+        const ResolvedColumn::Occ& o = col.occ[t];
+        // Occurrences are walked in order, so pull the row a few tokens
+        // ahead into cache (the padded tail makes the unguarded look-ahead
+        // safe; prefetching null never faults).
+        LEVA_PREFETCH(col.occ[t + kPrefetchDist].vec);
+        if (o.vec == nullptr) continue;
+        const double w = o.weight;
+        total_weight += w;
+        touched = true;
+        const double* __restrict vec = o.vec;
+        for (size_t j = 0; j < dim; ++j) a[j] += w * vec[j];
+      }
+    }
+    // total_weight == 0 leaves the (already zero) matrix row untouched,
+    // exactly like the row-at-a-time path skipping its division.
+    if (total_weight > 0) {
+      double* __restrict value_out = x + r * width + off;
+      if (dup_to_row) {
+        double* __restrict row_out = x + r * width;
+        for (size_t j = 0; j < dim; ++j) {
+          const double v = a[j] / total_weight;
+          value_out[j] = v;
+          row_out[j] = v;
+          a[j] = 0.0;
+        }
+      } else {
+        for (size_t j = 0; j < dim; ++j) {
+          value_out[j] = a[j] / total_weight;
+          a[j] = 0.0;
+        }
+      }
+    } else if (touched) {
+      // Accumulated but zero total weight: reset the buffer for the next row.
+      for (size_t j = 0; j < dim; ++j) a[j] = 0.0;
+    }
+  }
+}
+
+}  // namespace
 
 Status LevaPipeline::Fit(const Database& db) {
   Rng rng(config_.seed);
@@ -94,6 +221,10 @@ Status LevaPipeline::Fit(const Database& db) {
           graph_.label(n), {node_vectors.RowPtr(n), node_vectors.cols()}));
     }
   }
+  // A resolver cache from a previous fit would resolve against stale stores
+  // (the member addresses don't change across re-Fit, so the pointer check
+  // in Featurize can't catch this).
+  resolver_cache_ = TokenResolver(&embedding_, &graph_, config_.graph.weighted);
   fitted_ = true;
   return Status::OK();
 }
@@ -131,14 +262,20 @@ Result<std::vector<double>> LevaPipeline::RowVector(
   const size_t dim = embedding_.dim();
 
   // Collect the row's tokens, skipping the target column (no label leakage).
+  // Rows already in the graph under kRowOnly never consult the tokens, so
+  // skip textification entirely on that branch.
   std::vector<std::string> tokens;
-  for (size_t c = 0; c < table.NumColumns(); ++c) {
-    const Column& col = table.column(c);
-    if (col.name == target_column) continue;
-    LEVA_ASSIGN_OR_RETURN(
-        std::vector<std::string> cell,
-        textifier_.TransformCell(table.name(), col.name, col.values[row]));
-    for (std::string& t : cell) tokens.push_back(std::move(t));
+  const bool need_tokens =
+      !(rows_in_graph && config_.featurization == Featurization::kRowOnly);
+  if (need_tokens) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      const Column& col = table.column(c);
+      if (col.name == target_column) continue;
+      LEVA_ASSIGN_OR_RETURN(
+          std::vector<std::string> cell,
+          textifier_.TransformCell(table.name(), col.name, col.values[row]));
+      for (std::string& t : cell) tokens.push_back(std::move(t));
+    }
   }
 
   // "Row" featurization: the row-node embedding (Section 6.5.1). Rows not
@@ -172,6 +309,162 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
                                           const TargetEncoder& encoder,
                                           bool rows_in_graph) const {
   if (!fitted_) return Status::FailedPrecondition("pipeline is not fitted");
+  ScopedStageTimer timer(&profile_, "featurize");
+  LEVA_ASSIGN_OR_RETURN(const size_t target_idx,
+                        table.ColumnIndex(target_column));
+
+  const size_t dim = embedding_.dim();
+  const bool row_plus_value =
+      config_.featurization == Featurization::kRowPlusValue;
+  const size_t width = row_plus_value ? 2 * dim : dim;
+  const size_t num_rows = table.NumRows();
+  const size_t threads = ResolveThreads(config_.threads);
+  const size_t batch = config_.featurize_batch_size == 0
+                           ? num_rows
+                           : config_.featurize_batch_size;
+
+  featurize_stats_ = FeaturizeStats{};
+  featurize_stats_.rows = num_rows;
+
+  MLDataset ds;
+  ds.classification = encoder.classification();
+  ds.num_classes = encoder.classification() ? encoder.num_classes() : 2;
+  ds.x = Matrix(num_rows, width);
+  ds.y.resize(num_rows);
+  if (feature_names_cache_.size() != width) {
+    feature_names_cache_ = FeatureNames(dim, width);
+  }
+  ds.feature_names = feature_names_cache_;
+
+  // Hoisted row-node resolution: one table-name hash for the whole call.
+  // Row node ids are contiguous, and the embedding built by Fit stores node
+  // vectors in node-id order, so when that alignment holds (verified once on
+  // the first row's label) row r's vector is store row `first + r` — no
+  // per-row "<table>:<row>" string is ever built. The label-based fallback
+  // keeps the legacy lookup semantics for any non-aligned store.
+  const auto [first_row_node, row_node_count] = graph_.TableRows(table.name());
+  const bool aligned = rows_in_graph && first_row_node != kInvalidNode &&
+                       row_node_count >= num_rows &&
+                       embedding_.size() >= graph_.NumNodes() &&
+                       num_rows > 0 &&
+                       embedding_.IdOf(graph_.label(first_row_node)) ==
+                           first_row_node;
+
+  std::vector<size_t> row_ids(rows_in_graph ? num_rows : 0);
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (rows_in_graph) {
+      if (aligned) {
+        row_ids[r] = first_row_node + r;
+      } else {
+        const std::string label = table.name() + ":" + std::to_string(r);
+        row_ids[r] = embedding_.IdOf(label);
+        if (row_ids[r] == Embedding::kInvalidId) {
+          return Status::NotFound("row node missing for '" + label + "'");
+        }
+      }
+    }
+    LEVA_ASSIGN_OR_RETURN(ds.y[r], encoder.Encode(table.at(r, target_idx)));
+  }
+
+  // Row-only featurization of in-graph rows never consults the tokens.
+  const bool need_tokens = row_plus_value || !rows_in_graph;
+  std::vector<const Column*> token_cols;
+  if (need_tokens) {
+    token_cols.reserve(table.NumColumns());
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c != target_idx) token_cols.push_back(&table.column(c));
+    }
+  }
+
+  // The resolver persists across calls: resolution is a pure function of the
+  // fitted stores, so a warm cache turns repeat serving over the same
+  // vocabulary into pure id arithmetic. Stale pointers (fresh/copied/moved
+  // pipeline) force a rebuild; Fit resets it explicitly.
+  if (resolver_cache_.embedding() != &embedding_ ||
+      resolver_cache_.graph() != &graph_ ||
+      resolver_cache_.weighted() != config_.graph.weighted) {
+    resolver_cache_ = TokenResolver(&embedding_, &graph_, config_.graph.weighted);
+  }
+  TokenResolver& resolver = resolver_cache_;
+  const TokenResolver::Stats stats_before = resolver.stats();
+  for (size_t b0 = 0; b0 < num_rows; b0 += batch) {
+    const size_t b1 = std::min(num_rows, b0 + batch);
+    ++featurize_stats_.batches;
+    resolver.EvictIfAbove(kResolverCacheCap);
+
+    // Phase 1 (sequential): column-wise textify + per-distinct-token
+    // resolution straight down to (embedding row pointer, weight) pairs.
+    std::vector<ResolvedColumn> cols(token_cols.size());
+    for (size_t i = 0; i < token_cols.size(); ++i) {
+      LEVA_ASSIGN_OR_RETURN(
+          TextifiedColumn tc,
+          textifier_.TransformColumn(table.name(), *token_cols[i], b0, b1));
+      cols[i].offsets = std::move(tc.offsets);
+      cols[i].occ.reserve(tc.tokens.size() + kPrefetchDist);
+      featurize_stats_.token_occurrences += tc.tokens.size();
+      const auto resolved = [&](uint32_t id) -> ResolvedColumn::Occ {
+        const TokenResolver::Entry& e = resolver.entry(id);
+        return {e.embedding_id == Embedding::kInvalidId
+                    ? nullptr
+                    : embedding_.RowPtr(e.embedding_id),
+                e.weight};
+      };
+      if (!tc.dict_ids.empty()) {
+        // Dictionary-encoded (binned) column: resolve each distinct dict
+        // entry once, then map occurrences by array index — no hashing.
+        std::vector<ResolvedColumn::Occ> dict_occ(tc.dict.size());
+        for (size_t d = 0; d < tc.dict.size(); ++d) {
+          dict_occ[d] = resolved(resolver.Intern(tc.dict[d]));
+        }
+        for (const uint32_t d : tc.dict_ids) {
+          cols[i].occ.push_back(dict_occ[d]);
+        }
+      } else {
+        for (const std::string_view token : tc.tokens) {
+          cols[i].occ.push_back(resolved(resolver.Intern(token)));
+        }
+      }
+      // Pad so the gather's look-ahead prefetch never needs a bounds check.
+      cols[i].occ.resize(cols[i].occ.size() + kPrefetchDist,
+                         ResolvedColumn::Occ{nullptr, 0.0});
+    }
+
+    // Phase 2 (parallel): blocked gather straight into the dataset matrix.
+    // Each row writes only its own matrix row; the resolver and stores are
+    // read-only here, so the result is bit-identical at any thread count.
+    ParallelFor(threads, b0, b1, kFeaturizeGrain, [&](size_t begin,
+                                                      size_t end) {
+      if (need_tokens) {
+        // The composed vector lands in the value slot; under kRowOnly for
+        // held-out rows the row half *is* the value slot. Held-out rows
+        // under Row+Value duplicate the composed vector into the row half.
+        const size_t off = row_plus_value ? dim : 0;
+        GatherChunk(cols.data(), cols.size(), dim, ds.x.RowPtr(0), width, off,
+                    b0, begin, end,
+                    /*dup_to_row=*/!rows_in_graph && row_plus_value);
+      }
+      if (rows_in_graph) {
+        for (size_t r = begin; r < end; ++r) {
+          const double* src = embedding_.RowPtr(row_ids[r]);
+          std::copy(src, src + dim, ds.x.RowPtr(r));
+        }
+      }
+    });
+  }
+  // Per-call deltas: the cache's lifetime totals minus the snapshot taken at
+  // entry, so warm calls correctly report zero new store probes.
+  featurize_stats_.distinct_tokens =
+      resolver.stats().distinct - stats_before.distinct;
+  featurize_stats_.store_lookups =
+      resolver.stats().store_lookups - stats_before.store_lookups;
+  return ds;
+}
+
+Result<MLDataset> LevaPipeline::FeaturizeLegacy(const Table& table,
+                                                const std::string& target_column,
+                                                const TargetEncoder& encoder,
+                                                bool rows_in_graph) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline is not fitted");
   LEVA_ASSIGN_OR_RETURN(const size_t target_idx,
                         table.ColumnIndex(target_column));
 
@@ -184,15 +477,7 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
   ds.num_classes = encoder.classification() ? encoder.num_classes() : 2;
   ds.x = Matrix(table.NumRows(), width);
   ds.y.resize(table.NumRows());
-  ds.feature_names.reserve(width);
-  for (size_t j = 0; j < dim; ++j) {
-    ds.feature_names.push_back("emb" + std::to_string(j));
-  }
-  if (width == 2 * dim) {
-    for (size_t j = 0; j < dim; ++j) {
-      ds.feature_names.push_back("val" + std::to_string(j));
-    }
-  }
+  ds.feature_names = FeatureNames(dim, width);
 
   for (size_t r = 0; r < table.NumRows(); ++r) {
     LEVA_ASSIGN_OR_RETURN(

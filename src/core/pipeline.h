@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/timer.h"
+#include "core/token_resolver.h"
 #include "embed/embedding.h"
 #include "embed/line.h"
 #include "embed/mf.h"
@@ -48,10 +49,28 @@ struct LevaConfig {
   LineOptions line;
   uint64_t seed = 42;
   /// Worker threads for every parallel stage (walk generation, Word2Vec,
-  /// SVD matmuls). 0 = hardware_concurrency. All stages except Hogwild
-  /// Word2Vec (see Word2VecOptions::deterministic) produce bit-identical
-  /// results at any thread count for a fixed seed.
+  /// SVD matmuls, batched featurization). 0 = hardware_concurrency. All
+  /// stages except Hogwild Word2Vec (see Word2VecOptions::deterministic)
+  /// produce bit-identical results at any thread count for a fixed seed.
   size_t threads = 0;
+  /// Rows per serving batch in Featurize: tokens are textified, interned, and
+  /// resolved batch by batch, bounding the textified-column working set on
+  /// huge tables (the resolver cache itself is bounded by an eviction cap).
+  /// 0 = the whole table as one batch. Output is identical for any value.
+  size_t featurize_batch_size = 0;
+};
+
+/// Counters from the most recent (batched) Featurize call. `store_lookups`
+/// counts hash probes into the embedding/graph stores; it equals
+/// `distinct_tokens` — the tokens newly resolved by this call — and never
+/// `token_occurrences`, the fast path's cost model. On a warm resolver cache
+/// (a repeat Featurize over the same vocabulary) both drop to zero.
+struct FeaturizeStats {
+  size_t rows = 0;
+  size_t batches = 0;
+  size_t token_occurrences = 0;
+  size_t distinct_tokens = 0;
+  size_t store_lookups = 0;
 };
 
 /// The Leva system (Fig. 2): textification -> graph construction ->
@@ -72,10 +91,29 @@ class LevaPipeline {
   /// node embeddings of its textified tokens, with unseen numeric values
   /// falling into existing histogram bins and unseen strings contributing
   /// nothing (the paper's unseen-data handling).
+  ///
+  /// This is the batched serving fast path: columns are textified in one
+  /// pass per batch (Textifier::TransformColumn), each distinct token is
+  /// resolved to (embedding row id, inverse-degree weight) once across the
+  /// pipeline's lifetime (a persistent TokenResolver cache — resolution is a
+  /// pure function of the fitted stores), and rows are gathered into the
+  /// MLDataset matrix by a cache-blocked ParallelFor with no per-row
+  /// allocation. Output is bit-identical to FeaturizeLegacy at any thread
+  /// count / batch size. Records a "featurize" stage in profile() and
+  /// updates featurize_stats() and the resolver cache, so calls on the same
+  /// pipeline must not overlap.
   Result<MLDataset> Featurize(const Table& table,
                               const std::string& target_column,
                               const TargetEncoder& encoder,
                               bool rows_in_graph) const;
+
+  /// Reference row-at-a-time implementation (one RowVector call per row),
+  /// kept compiled as the differential-testing and benchmarking baseline for
+  /// the batched path.
+  Result<MLDataset> FeaturizeLegacy(const Table& table,
+                                    const std::string& target_column,
+                                    const TargetEncoder& encoder,
+                                    bool rows_in_graph) const;
 
   /// Vector for one row under the current featurization strategy.
   Result<std::vector<double>> RowVector(const Table& table, size_t row,
@@ -86,9 +124,19 @@ class LevaPipeline {
   const LevaGraph& graph() const { return graph_; }
   const Textifier& textifier() const { return textifier_; }
   EmbeddingMethod chosen_method() const { return chosen_; }
-  /// Wall-clock per pipeline stage (Fig. 6b/6c).
+  /// Wall-clock per pipeline stage (Fig. 6b/6c), including the serving-side
+  /// "featurize" stage accumulated across Featurize calls.
   const StageProfile& profile() const { return profile_; }
+  /// Resolver hit counts from the most recent Featurize call.
+  const FeaturizeStats& featurize_stats() const { return featurize_stats_; }
   const LevaConfig& config() const { return config_; }
+
+  /// Retunes the serving-only knobs after Fit (they never affect the fitted
+  /// state, only how Featurize schedules its work).
+  void set_serving_options(size_t threads, size_t featurize_batch_size) {
+    config_.threads = threads;
+    config_.featurize_batch_size = featurize_batch_size;
+  }
 
  private:
   // Mean of the value-node embeddings of `tokens` into `out` (zeros when no
@@ -101,7 +149,17 @@ class LevaPipeline {
   LevaGraph graph_;
   Embedding embedding_;
   EmbeddingMethod chosen_ = EmbeddingMethod::kAuto;
-  StageProfile profile_;
+  // Mutable so const Featurize can account its "featurize" stage; updated on
+  // the calling thread only.
+  mutable StageProfile profile_;
+  mutable FeaturizeStats featurize_stats_;
+  // Serving-side token cache shared across Featurize calls. Rebuilt whenever
+  // its store pointers no longer match this pipeline's members (fresh
+  // pipeline, copy, move) and reset by Fit; bounded by an eviction cap.
+  mutable TokenResolver resolver_cache_{nullptr, nullptr, false};
+  // Feature names are a pure function of (dim, width); built once and copied
+  // into each MLDataset instead of re-rendering ~2*dim strings per call.
+  mutable std::vector<std::string> feature_names_cache_;
   bool fitted_ = false;
 };
 

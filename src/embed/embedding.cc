@@ -28,6 +28,11 @@ std::span<const double> Embedding::Get(const std::string& key) const {
   return {data_.data() + it->second * dim_, dim_};
 }
 
+size_t Embedding::IdOf(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
 Status Embedding::MapVectors(
     size_t new_dim, const std::function<void(std::span<const double>,
                                              std::span<double>)>& project) {

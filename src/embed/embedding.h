@@ -4,10 +4,12 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/string_util.h"
 
 namespace leva {
 
@@ -29,6 +31,23 @@ class Embedding {
 
   /// Vector for `key`; empty span when missing.
   std::span<const double> Get(const std::string& key) const;
+
+  /// Sentinel returned by IdOf for unknown keys.
+  static constexpr size_t kInvalidId = static_cast<size_t>(-1);
+
+  /// Integer id of `key` — its row index into keys()/data() — or kInvalidId.
+  /// Ids are stable for the lifetime of the store (Put never reorders) so
+  /// callers may pay the string hash once and gather by id afterwards. Takes
+  /// a view so gather loops probe without materializing a string.
+  size_t IdOf(std::string_view key) const;
+
+  /// Row `id` of the contiguous store; `id` must be a valid IdOf result.
+  std::span<const double> GetById(size_t id) const {
+    return {data_.data() + id * dim_, dim_};
+  }
+
+  /// Raw pointer form of GetById for allocation-free gather loops.
+  const double* RowPtr(size_t id) const { return data_.data() + id * dim_; }
 
   const std::vector<std::string>& keys() const { return keys_; }
 
@@ -52,7 +71,9 @@ class Embedding {
 
  private:
   size_t dim_ = 0;
-  std::unordered_map<std::string, size_t> index_;
+  std::unordered_map<std::string, size_t, TransparentStringHash,
+                     std::equal_to<>>
+      index_;
   std::vector<std::string> keys_;
   std::vector<double> data_;
 };

@@ -23,7 +23,13 @@ NodeId LevaGraph::RowNode(const std::string& table, size_t row) const {
   return it->second.first + static_cast<NodeId>(row);
 }
 
-NodeId LevaGraph::ValueNode(const std::string& token) const {
+std::pair<NodeId, size_t> LevaGraph::TableRows(const std::string& table) const {
+  const auto it = row_index_.find(table);
+  if (it == row_index_.end()) return {kInvalidNode, 0};
+  return it->second;
+}
+
+NodeId LevaGraph::ValueNode(std::string_view token) const {
   const auto it = value_index_.find(token);
   return it == value_index_.end() ? kInvalidNode : it->second;
 }

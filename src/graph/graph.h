@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/string_util.h"
 #include "text/textifier.h"
 
 namespace leva {
@@ -68,8 +70,13 @@ class LevaGraph {
 
   /// Row node for row `row` of the table named `table`, or kInvalidNode.
   NodeId RowNode(const std::string& table, size_t row) const;
+  /// (first row node id, row count) registered for `table`, or
+  /// {kInvalidNode, 0}. Row node ids are contiguous — node for row r is
+  /// first + r — so batch callers can resolve the table name hash once and
+  /// address every row arithmetically instead of via per-row label strings.
+  std::pair<NodeId, size_t> TableRows(const std::string& table) const;
   /// Value node for `token`, or kInvalidNode.
-  NodeId ValueNode(const std::string& token) const;
+  NodeId ValueNode(std::string_view token) const;
 
   /// All node ids of the given kind, in id order.
   std::vector<NodeId> NodesOfKind(NodeKind kind) const;
@@ -89,7 +96,9 @@ class LevaGraph {
   std::vector<size_t> offsets_;   // size NumNodes()+1
   std::vector<NodeId> targets_;
   std::vector<float> weights_;
-  std::unordered_map<std::string, NodeId> value_index_;
+  std::unordered_map<std::string, NodeId, TransparentStringHash,
+                     std::equal_to<>>
+      value_index_;
   // table name -> (first row node id, row count)
   std::unordered_map<std::string, std::pair<NodeId, size_t>> row_index_;
   GraphStats stats_;

@@ -1,8 +1,10 @@
 #include "ml/featurize.h"
 
 #include <algorithm>
+#include <charconv>
 #include <map>
 #include <numeric>
+#include <string_view>
 
 #include "ml/tree.h"
 
@@ -188,9 +190,25 @@ Result<double> TargetEncoder::Encode(const Value& v) const {
     return v.ToNumeric();
   }
   if (v.is_null()) return Status::InvalidArgument("null class label");
-  const auto it = label_map_.find(v.ToDisplayString());
+  // Probe with a view over the rendered label; int labels (the common
+  // classification target) are rendered into a stack buffer (to_chars emits
+  // the same minimal decimal digits as ToDisplayString's to_string), so the
+  // per-row hot path allocates nothing.
+  std::string_view key;
+  char buf[24];
+  std::string rendered;
+  if (v.is_string()) {
+    key = v.as_string();
+  } else if (v.is_int()) {
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_int());
+    key = std::string_view(buf, static_cast<size_t>(end - buf));
+  } else {
+    rendered = v.ToDisplayString();
+    key = rendered;
+  }
+  const auto it = label_map_.find(key);
   if (it == label_map_.end()) {
-    return Status::NotFound("unseen class label '" + v.ToDisplayString() + "'");
+    return Status::NotFound("unseen class label '" + std::string(key) + "'");
   }
   return static_cast<double>(it->second);
 }

@@ -1,11 +1,13 @@
 #ifndef LEVA_ML_FEATURIZE_H_
 #define LEVA_ML_FEATURIZE_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/string_util.h"
 #include "ml/dataset.h"
 #include "table/table.h"
 
@@ -67,7 +69,11 @@ class TargetEncoder {
  private:
   bool classification_ = true;
   std::vector<std::string> labels_;
-  std::unordered_map<std::string, size_t> label_map_;
+  // Transparent lookup so Encode can probe with a view of the rendered
+  // label instead of materializing a std::string per row.
+  std::unordered_map<std::string, size_t, TransparentStringHash,
+                     std::equal_to<>>
+      label_map_;
 };
 
 /// Ranks features of `train` by random-forest impurity importance and returns

@@ -67,10 +67,4 @@ Histogram Histogram::FitAuto(const std::vector<double>& values,
   return Fit(values, num_bins, type);
 }
 
-size_t Histogram::BinOf(double v) const {
-  // First edge >= v; values above the last edge land in the last bin.
-  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
-  return static_cast<size_t>(it - edges_.begin());
-}
-
 }  // namespace leva

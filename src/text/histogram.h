@@ -1,6 +1,7 @@
 #ifndef LEVA_TEXT_HISTOGRAM_H_
 #define LEVA_TEXT_HISTOGRAM_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -36,8 +37,13 @@ class Histogram {
   /// kHeavyTailKurtosis (heavy tail), equi-width otherwise.
   static Histogram FitAuto(const std::vector<double>& values, size_t num_bins);
 
-  /// Bin id for `v`, clamped into range.
-  size_t BinOf(double v) const;
+  /// Bin id for `v`, clamped into range. Inline: the batched textify path
+  /// calls this once per numeric cell, so the call overhead is measurable.
+  size_t BinOf(double v) const {
+    // First edge >= v; values above the last edge land in the last bin.
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    return static_cast<size_t>(it - edges_.begin());
+  }
 
   size_t num_bins() const { return edges_.size() + 1; }
   HistogramType type() const { return type_; }

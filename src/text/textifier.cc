@@ -1,5 +1,6 @@
 #include "text/textifier.h"
 
+#include <charconv>
 #include <cmath>
 
 #include "common/string_util.h"
@@ -200,6 +201,126 @@ Result<std::vector<std::string>> Textifier::TransformCell(
   std::vector<std::string> out;
   out.reserve(tokens.size());
   for (TextToken& t : tokens) out.push_back(std::move(t.token));
+  return out;
+}
+
+Result<TextifiedColumn> Textifier::TransformColumn(
+    const std::string& table_name, const Column& column, size_t row_begin,
+    size_t row_end) const {
+  const ColumnState* state = FindState(table_name, column.name);
+  if (state == nullptr) {
+    return Status::NotFound("column '" + table_name + "." + column.name +
+                            "' was not fitted");
+  }
+  if (row_end == static_cast<size_t>(-1)) row_end = column.size();
+  if (row_begin > row_end || row_end > column.size()) {
+    return Status::InvalidArgument("row range [" + std::to_string(row_begin) +
+                                   ", " + std::to_string(row_end) +
+                                   ") out of bounds for column '" +
+                                   column.name + "'");
+  }
+
+  TextifiedColumn out;
+  out.offsets.reserve(row_end - row_begin + 1);
+  out.offsets.push_back(0);
+  out.tokens.reserve(row_end - row_begin);
+  // Materializes a derived token into the backing store; the returned view
+  // stays valid because deque growth never relocates elements.
+  const auto store = [&out](std::string s) -> std::string_view {
+    out.storage.push_back(std::move(s));
+    return out.storage.back();
+  };
+  // String values are viewed in place; int/double renderings have to be
+  // materialized. Ints (key columns) render via to_chars straight into the
+  // backing store — the same minimal decimal digits ToDisplayString's
+  // to_string emits, without the intermediate std::string.
+  const auto raw_view = [&store, &out](const Value& value) -> std::string_view {
+    if (value.is_string()) return std::string_view(value.as_string());
+    if (value.is_int()) {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), value.as_int());
+      out.storage.emplace_back(buf, res.ptr);
+      return out.storage.back();
+    }
+    return store(value.ToDisplayString());
+  };
+  switch (state->cls) {
+    case ColumnClass::kNumeric:
+    case ColumnClass::kDatetime: {
+      // The attribute-scoped bin prefix is a pure function of the column;
+      // build it once instead of re-deriving it per cell (EmitTokens pays a
+      // substr + two string concats for every value). Bin labels are a pure
+      // function of the bin id, so each is materialized at most once per
+      // call rather than concatenated per cell.
+      const std::string& qualified = attr_names_[state->attr_id];
+      const std::string prefix = qualified.substr(qualified.find('.') + 1) +
+                                 "#bin";
+      constexpr uint32_t kNoEntry = static_cast<uint32_t>(-1);
+      std::vector<uint32_t> bin_dict_id(state->histogram.num_bins(), kNoEntry);
+      for (size_t r = row_begin; r < row_end; ++r) {
+        const Value& value = column.values[r];
+        if (!value.is_null()) {
+          if (value.is_numeric()) {
+            const size_t bin = state->histogram.BinOf(value.ToNumeric());
+            if (bin_dict_id[bin] == kNoEntry) {
+              bin_dict_id[bin] = static_cast<uint32_t>(out.dict.size());
+              out.dict.push_back(store(prefix + std::to_string(bin)));
+            }
+            out.dict_ids.push_back(bin_dict_id[bin]);
+            out.tokens.push_back(out.dict[bin_dict_id[bin]]);
+          } else {
+            // Dirty non-numeric cells are rare; give each occurrence its own
+            // dict entry rather than dedup-hashing here (downstream interning
+            // dedups them anyway).
+            const std::string_view raw = Trim(raw_view(value));
+            if (!raw.empty()) {
+              out.dict_ids.push_back(static_cast<uint32_t>(out.dict.size()));
+              out.dict.push_back(raw);
+              out.tokens.push_back(raw);
+            }
+          }
+        }
+        out.offsets.push_back(out.tokens.size());
+      }
+      break;
+    }
+    case ColumnClass::kKey:
+    case ColumnClass::kStringAtomic: {
+      for (size_t r = row_begin; r < row_end; ++r) {
+        const Value& value = column.values[r];
+        if (!value.is_null()) {
+          const std::string_view raw = Trim(raw_view(value));
+          if (!raw.empty()) out.tokens.push_back(raw);
+        }
+        out.offsets.push_back(out.tokens.size());
+      }
+      break;
+    }
+    case ColumnClass::kStringList: {
+      const char sep = state->list_separator;
+      for (size_t r = row_begin; r < row_end; ++r) {
+        const Value& value = column.values[r];
+        if (!value.is_null()) {
+          // In-place Split + Trim over a view: same parts as
+          // Split(raw, sep) — empty fields kept, then trimmed and dropped
+          // when empty — without materializing any of them.
+          const std::string_view raw = raw_view(value);
+          size_t start = 0;
+          while (true) {
+            const size_t pos = raw.find(sep, start);
+            const size_t len =
+                (pos == std::string_view::npos ? raw.size() : pos) - start;
+            const std::string_view elem = Trim(raw.substr(start, len));
+            if (!elem.empty()) out.tokens.push_back(elem);
+            if (pos == std::string_view::npos) break;
+            start = pos + 1;
+          }
+        }
+        out.offsets.push_back(out.tokens.size());
+      }
+      break;
+    }
+  }
   return out;
 }
 

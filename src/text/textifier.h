@@ -2,7 +2,9 @@
 #define LEVA_TEXT_TEXTIFIER_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +52,39 @@ struct TextifiedTable {
   std::vector<std::vector<TextToken>> rows;
 };
 
+/// One column textified in a single pass (the batched analogue of
+/// TransformCell): tokens are flattened in row order, with
+/// `offsets[r] .. offsets[r+1]` delimiting row r's tokens. Rows are local to
+/// the transformed range, so offsets always start at 0.
+///
+/// Tokens are views, not strings, so the serving path pays no heap
+/// allocation per occurrence: each view points either into the source
+/// column's values (which must outlive this struct) or into `storage`,
+/// where derived tokens (bin labels, numeric renderings) are materialized
+/// once. `storage` is a deque so growth never invalidates earlier views,
+/// which also makes the struct safely movable; copying would dangle the
+/// views, so it is move-only.
+struct TextifiedColumn {
+  std::vector<std::string_view> tokens;
+  std::vector<size_t> offsets;  // size = rows + 1
+  std::deque<std::string> storage;
+  /// Dictionary encoding, produced for binned (numeric/datetime) columns
+  /// whose tokens repeat heavily: `dict` lists tokens in first-appearance
+  /// order and `dict_ids[i]` is the dict index of `tokens[i]`. Consumers can
+  /// then resolve each dict entry once instead of hashing every occurrence.
+  /// Both vectors are empty for non-dictionary columns.
+  std::vector<std::string_view> dict;
+  std::vector<uint32_t> dict_ids;
+
+  TextifiedColumn() = default;
+  TextifiedColumn(TextifiedColumn&&) = default;
+  TextifiedColumn& operator=(TextifiedColumn&&) = default;
+  TextifiedColumn(const TextifiedColumn&) = delete;
+  TextifiedColumn& operator=(const TextifiedColumn&) = delete;
+
+  size_t NumRows() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+};
+
 /// The textification module. `Fit` scans a database, classifies every column
 /// and fits histograms; `Transform` converts (possibly unseen) tables into
 /// token streams using the fitted state, which implements the paper's
@@ -69,6 +104,17 @@ class Textifier {
   Result<std::vector<std::string>> TransformCell(
       const std::string& table_name, const std::string& column_name,
       const Value& value) const;
+
+  /// Textifies rows [row_begin, row_end) of `column` in one pass. The column
+  /// state lookup, type dispatch, and numeric token prefix are resolved once
+  /// per call instead of once per cell, and bin labels are materialized once
+  /// per distinct bin; emitted tokens are byte-identical to repeated
+  /// TransformCell calls. `row_end` == npos means column.size(). The result
+  /// holds views into `column`, which must outlive it. This is the
+  /// batched-featurization serving path.
+  Result<TextifiedColumn> TransformColumn(
+      const std::string& table_name, const Column& column, size_t row_begin = 0,
+      size_t row_end = static_cast<size_t>(-1)) const;
 
   /// Total number of distinct attributes registered at Fit time.
   size_t NumAttributes() const { return attr_names_.size(); }

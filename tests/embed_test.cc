@@ -26,6 +26,29 @@ TEST(EmbeddingTest, PutGetRoundTrip) {
   EXPECT_FALSE(e.Has("b"));
 }
 
+TEST(EmbeddingTest, IntegerIdInterface) {
+  Embedding e(2);
+  ASSERT_TRUE(e.Put("a", std::vector<double>{1, 2}).ok());
+  ASSERT_TRUE(e.Put("b", std::vector<double>{3, 4}).ok());
+  const size_t a = e.IdOf("a");
+  const size_t b = e.IdOf("b");
+  ASSERT_NE(a, Embedding::kInvalidId);
+  ASSERT_NE(b, Embedding::kInvalidId);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(e.IdOf("missing"), Embedding::kInvalidId);
+  // Ids index the contiguous store, aligned with keys()/Get().
+  EXPECT_EQ(e.keys()[a], "a");
+  const auto by_id = e.GetById(b);
+  const auto by_key = e.Get("b");
+  ASSERT_EQ(by_id.size(), by_key.size());
+  EXPECT_EQ(by_id.data(), by_key.data());
+  EXPECT_EQ(e.RowPtr(a), e.Get("a").data());
+  // Overwrites keep ids stable.
+  ASSERT_TRUE(e.Put("a", std::vector<double>{9, 9}).ok());
+  EXPECT_EQ(e.IdOf("a"), a);
+  EXPECT_DOUBLE_EQ(e.GetById(a)[0], 9.0);
+}
+
 TEST(EmbeddingTest, DimensionMismatchRejected) {
   Embedding e(3);
   EXPECT_FALSE(e.Put("a", std::vector<double>{1, 2}).ok());

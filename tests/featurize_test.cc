@@ -1,0 +1,266 @@
+// Differential suite for the batched featurization fast path: the batched
+// Featurize (column-wise textify + token interning + blocked parallel
+// gather) must be bitwise identical to the row-at-a-time FeaturizeLegacy
+// across featurization modes, in-graph vs held-out rows, unseen tokens,
+// thread counts, and serving batch sizes.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/token_resolver.h"
+#include "datagen/synthetic.h"
+#include "ml/featurize.h"
+
+namespace leva {
+namespace {
+
+LevaConfig TestConfig(Featurization featurization, bool weighted = true) {
+  LevaConfig config;
+  config.method = EmbeddingMethod::kMatrixFactorization;
+  config.embedding_dim = 8;
+  config.featurization = featurization;
+  config.graph.weighted = weighted;
+  config.seed = 5;
+  return config;
+}
+
+struct StudentSplit {
+  Database fit_db;
+  Table train_table;  // first 100 rows of expenses, in the fitted graph
+  Table test_table;   // held-out 20 rows, unseen by Fit
+  TargetEncoder encoder;
+};
+
+StudentSplit MakeSplit() {
+  auto full = GenerateStudent(120, 0, 3);
+  EXPECT_TRUE(full.ok());
+  const Table* base = full->db.FindTable("expenses");
+  std::vector<size_t> train_rows;
+  std::vector<size_t> test_rows;
+  for (size_t r = 0; r < base->NumRows(); ++r) {
+    (r < 100 ? train_rows : test_rows).push_back(r);
+  }
+  StudentSplit split;
+  split.train_table = base->SubsetRows(train_rows);
+  split.test_table = base->SubsetRows(test_rows);
+  split.train_table.set_name("expenses");
+  split.test_table.set_name("expenses");
+  EXPECT_TRUE(split.fit_db.AddTable(split.train_table).ok());
+  EXPECT_TRUE(split.fit_db.AddTable(*full->db.FindTable("order_info")).ok());
+  EXPECT_TRUE(split.fit_db.AddTable(*full->db.FindTable("price_info")).ok());
+  EXPECT_TRUE(
+      split.encoder.Fit(*base->FindColumn("total_expenses"), false).ok());
+  return split;
+}
+
+void ExpectBitIdentical(const MLDataset& batched, const MLDataset& legacy) {
+  ASSERT_EQ(batched.NumRows(), legacy.NumRows());
+  ASSERT_EQ(batched.NumFeatures(), legacy.NumFeatures());
+  EXPECT_EQ(batched.feature_names, legacy.feature_names);
+  EXPECT_EQ(batched.y, legacy.y);
+  EXPECT_EQ(batched.classification, legacy.classification);
+  EXPECT_EQ(batched.num_classes, legacy.num_classes);
+  // Bitwise, not approximate: the batched gather must reproduce the exact
+  // floating-point accumulation order of the legacy path.
+  const auto& a = batched.x.data();
+  const auto& b = legacy.x.data();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+TEST(BatchedFeaturizeTest, MatchesLegacyAcrossModesThreadsAndBatches) {
+  StudentSplit split = MakeSplit();
+  for (const Featurization mode :
+       {Featurization::kRowOnly, Featurization::kRowPlusValue}) {
+    LevaPipeline pipeline(TestConfig(mode));
+    ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+    for (const bool rows_in_graph : {true, false}) {
+      const Table& table =
+          rows_in_graph ? split.train_table : split.test_table;
+      const auto legacy = pipeline.FeaturizeLegacy(table, "total_expenses",
+                                                   split.encoder,
+                                                   rows_in_graph);
+      ASSERT_TRUE(legacy.ok());
+      for (const size_t threads : {size_t{1}, size_t{4}}) {
+        for (const size_t batch : {size_t{0}, size_t{7}}) {
+          pipeline.set_serving_options(threads, batch);
+          const auto batched = pipeline.Featurize(table, "total_expenses",
+                                                  split.encoder,
+                                                  rows_in_graph);
+          ASSERT_TRUE(batched.ok())
+              << batched.status().ToString() << " mode="
+              << (mode == Featurization::kRowOnly ? "row" : "row+value")
+              << " rows_in_graph=" << rows_in_graph << " threads=" << threads
+              << " batch=" << batch;
+          ExpectBitIdentical(*batched, *legacy);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedFeaturizeTest, MatchesLegacyOnUnweightedGraph) {
+  StudentSplit split = MakeSplit();
+  LevaPipeline pipeline(
+      TestConfig(Featurization::kRowPlusValue, /*weighted=*/false));
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+  const auto legacy = pipeline.FeaturizeLegacy(
+      split.test_table, "total_expenses", split.encoder, false);
+  const auto batched = pipeline.Featurize(split.test_table, "total_expenses",
+                                          split.encoder, false);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(batched.ok());
+  ExpectBitIdentical(*batched, *legacy);
+}
+
+TEST(BatchedFeaturizeTest, UnseenTokensMatchLegacy) {
+  StudentSplit split = MakeSplit();
+  LevaPipeline pipeline(TestConfig(Featurization::kRowPlusValue));
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+
+  // Corrupt the held-out slice with strings and numbers never seen at Fit
+  // time: unseen strings must contribute nothing, unseen numbers must
+  // quantize into existing bins — identically on both paths.
+  Table mutated = split.test_table;
+  mutated.set_name("expenses");
+  for (size_t c = 0; c < mutated.NumColumns(); ++c) {
+    Column& col = mutated.mutable_column(c);
+    if (col.name == "total_expenses") continue;
+    if (!col.values.empty() && col.values[0].is_string()) {
+      col.values[0] = Value(std::string("utterly-unseen-token"));
+    }
+    if (col.values.size() > 1 && col.values[1].is_numeric()) {
+      col.values[1] = Value(1e12);  // far outside every fitted bin range
+    }
+  }
+  const auto legacy = pipeline.FeaturizeLegacy(mutated, "total_expenses",
+                                               split.encoder, false);
+  const auto batched =
+      pipeline.Featurize(mutated, "total_expenses", split.encoder, false);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(batched.ok());
+  ExpectBitIdentical(*batched, *legacy);
+}
+
+TEST(BatchedFeaturizeTest, ResolverStatsShowPerDistinctTokenLookups) {
+  StudentSplit split = MakeSplit();
+  LevaPipeline pipeline(TestConfig(Featurization::kRowPlusValue));
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+  ASSERT_TRUE(pipeline
+                  .Featurize(split.train_table, "total_expenses",
+                             split.encoder, true)
+                  .ok());
+  const FeaturizeStats& stats = pipeline.featurize_stats();
+  EXPECT_EQ(stats.rows, split.train_table.NumRows());
+  EXPECT_EQ(stats.batches, 1u);
+  // Gender/school/item tokens repeat heavily across the 100 rows, so the
+  // distinct count must be far below the occurrence count, and store hash
+  // lookups must track distinct tokens, not (row, token) occurrences.
+  EXPECT_GT(stats.token_occurrences, stats.distinct_tokens);
+  EXPECT_EQ(stats.store_lookups, stats.distinct_tokens);
+}
+
+TEST(BatchedFeaturizeTest, WarmResolverCacheSkipsStoreLookups) {
+  StudentSplit split = MakeSplit();
+  LevaPipeline pipeline(TestConfig(Featurization::kRowPlusValue));
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+  const auto cold = pipeline.Featurize(split.train_table, "total_expenses",
+                                       split.encoder, true);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(pipeline.featurize_stats().store_lookups, 0u);
+
+  // The resolver cache persists across calls, so a repeat over the same
+  // vocabulary resolves every token from the cache — zero store probes —
+  // and still reproduces the exact same bits.
+  const auto warm = pipeline.Featurize(split.train_table, "total_expenses",
+                                       split.encoder, true);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(pipeline.featurize_stats().distinct_tokens, 0u);
+  EXPECT_EQ(pipeline.featurize_stats().store_lookups, 0u);
+  EXPECT_GT(pipeline.featurize_stats().token_occurrences, 0u);
+  ExpectBitIdentical(*warm, *cold);
+
+  // Re-Fit invalidates the cache: the next call resolves from scratch.
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+  ASSERT_TRUE(pipeline
+                  .Featurize(split.train_table, "total_expenses",
+                             split.encoder, true)
+                  .ok());
+  EXPECT_GT(pipeline.featurize_stats().store_lookups, 0u);
+}
+
+TEST(BatchedFeaturizeTest, RowOnlyInGraphSkipsTextification) {
+  StudentSplit split = MakeSplit();
+  LevaPipeline pipeline(TestConfig(Featurization::kRowOnly));
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+  ASSERT_TRUE(pipeline
+                  .Featurize(split.train_table, "total_expenses",
+                             split.encoder, true)
+                  .ok());
+  // The row-node gather never consults tokens, so none are interned.
+  EXPECT_EQ(pipeline.featurize_stats().token_occurrences, 0u);
+  EXPECT_EQ(pipeline.featurize_stats().store_lookups, 0u);
+}
+
+TEST(BatchedFeaturizeTest, MissingRowNodeFailsLikeLegacy) {
+  StudentSplit split = MakeSplit();
+  LevaPipeline pipeline(TestConfig(Featurization::kRowOnly));
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+  // The held-out table claims rows_in_graph but rows 100..119 were never
+  // fitted... the train slice has only 100 row nodes, so a longer table
+  // must report the first missing row node, exactly like the legacy path.
+  Table longer = split.train_table;
+  longer.set_name("expenses");
+  for (size_t r = 0; r < split.test_table.NumRows(); ++r) {
+    ASSERT_TRUE(longer.AddRow(split.test_table.Row(r)).ok());
+  }
+  const auto legacy = pipeline.FeaturizeLegacy(longer, "total_expenses",
+                                               split.encoder, true);
+  const auto batched =
+      pipeline.Featurize(longer, "total_expenses", split.encoder, true);
+  ASSERT_FALSE(legacy.ok());
+  ASSERT_FALSE(batched.ok());
+  EXPECT_EQ(batched.status().code(), legacy.status().code());
+  EXPECT_EQ(batched.status().ToString(), legacy.status().ToString());
+}
+
+TEST(BatchedFeaturizeTest, RecordsFeaturizeStage) {
+  StudentSplit split = MakeSplit();
+  LevaPipeline pipeline(TestConfig(Featurization::kRowPlusValue));
+  ASSERT_TRUE(pipeline.Fit(split.fit_db).ok());
+  ASSERT_TRUE(pipeline
+                  .Featurize(split.train_table, "total_expenses",
+                             split.encoder, true)
+                  .ok());
+  bool has_stage = false;
+  for (const auto& [name, secs] : pipeline.profile().stages()) {
+    if (name == "featurize") has_stage = true;
+  }
+  EXPECT_TRUE(has_stage);
+}
+
+TEST(TokenResolverTest, InternsOncePerDistinctToken) {
+  Embedding embedding(2);
+  ASSERT_TRUE(embedding.Put("red", std::vector<double>{1, 2}).ok());
+  TokenResolver resolver(&embedding, nullptr, /*weighted=*/false);
+  const uint32_t red = resolver.Intern("red");
+  EXPECT_EQ(resolver.Intern("red"), red);
+  const uint32_t unseen = resolver.Intern("unseen");
+  EXPECT_NE(unseen, red);
+  EXPECT_EQ(resolver.NumDistinct(), 2u);
+  EXPECT_EQ(resolver.stats().occurrences, 3u);
+  EXPECT_EQ(resolver.stats().distinct, 2u);
+  EXPECT_EQ(resolver.stats().store_lookups, 2u);
+  EXPECT_EQ(resolver.entry(red).embedding_id, embedding.IdOf("red"));
+  EXPECT_DOUBLE_EQ(resolver.entry(red).weight, 1.0);
+  EXPECT_EQ(resolver.entry(unseen).embedding_id, Embedding::kInvalidId);
+
+  resolver.Clear();
+  EXPECT_EQ(resolver.NumDistinct(), 0u);
+  // Stats persist across Clear so multi-batch calls report call totals.
+  EXPECT_EQ(resolver.stats().occurrences, 3u);
+}
+
+}  // namespace
+}  // namespace leva

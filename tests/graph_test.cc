@@ -111,6 +111,20 @@ TEST(GraphTest, RowNodeLookup) {
   EXPECT_EQ(g->RowNode("zzz", 0), kInvalidNode);
 }
 
+TEST(GraphTest, TableRowsMatchesRowNode) {
+  const auto g = BuildGraph(SharedTokenTables(), 4);
+  ASSERT_TRUE(g.ok());
+  const auto [first, count] = g->TableRows("a");
+  ASSERT_NE(first, kInvalidNode);
+  EXPECT_EQ(count, 3u);
+  for (size_t r = 0; r < count; ++r) {
+    EXPECT_EQ(first + r, g->RowNode("a", r));
+  }
+  const auto [none, zero] = g->TableRows("zzz");
+  EXPECT_EQ(none, kInvalidNode);
+  EXPECT_EQ(zero, 0u);
+}
+
 TEST(GraphTest, EdgesConnectRowsViaValueNodes) {
   const auto g = BuildGraph(SharedTokenTables(), 4);
   ASSERT_TRUE(g.ok());

@@ -250,6 +250,54 @@ TEST(TextifierTest, TransformWholeTable) {
   EXPECT_EQ(tt->rows[0].size(), 5u);
 }
 
+TEST(TextifierTest, TransformColumnMatchesTransformCell) {
+  Database db = MakeTypedDb();
+  // Sprinkle in nulls and a dirty numeric cell so every EmitTokens branch is
+  // exercised by the column-batch path.
+  Table& t = db.mutable_tables()[0];
+  t.mutable_column(1).values[3] = Value::Null();
+  t.mutable_column(1).values[4] = Value("  ? ");
+  t.mutable_column(2).values[5] = Value::Null();
+  t.mutable_column(3).values[6] = Value(" a ,, b ");
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    const Column& col = t.column(c);
+    const auto batched = tx.TransformColumn("t", col);
+    ASSERT_TRUE(batched.ok()) << col.name;
+    ASSERT_EQ(batched->NumRows(), col.size());
+    for (size_t r = 0; r < col.size(); ++r) {
+      const auto cell = tx.TransformCell("t", col.name, col.values[r]);
+      ASSERT_TRUE(cell.ok());
+      std::vector<std::string> got;
+      for (size_t i = batched->offsets[r]; i < batched->offsets[r + 1]; ++i) {
+        got.emplace_back(batched->tokens[i]);
+      }
+      EXPECT_EQ(got, *cell) << col.name << " row " << r;
+    }
+  }
+}
+
+TEST(TextifierTest, TransformColumnRowRange) {
+  const Database db = MakeTypedDb();
+  Textifier tx;
+  ASSERT_TRUE(tx.Fit(db).ok());
+  const Column& col = db.tables()[0].column(3);  // tags: 2 tokens per row
+  const auto batched = tx.TransformColumn("t", col, 10, 15);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ(batched->NumRows(), 5u);
+  EXPECT_EQ(batched->tokens.size(), 10u);
+  const auto full = tx.TransformColumn("t", col);
+  ASSERT_TRUE(full.ok());
+  // Local offsets of the slice line up with the matching span of the full
+  // transform.
+  for (size_t i = 0; i < batched->tokens.size(); ++i) {
+    EXPECT_EQ(batched->tokens[i], full->tokens[full->offsets[10] + i]);
+  }
+  EXPECT_FALSE(tx.TransformColumn("t", col, 5, 200).ok());
+  EXPECT_FALSE(tx.TransformColumn("nope", col).ok());
+}
+
 TEST(TextifierTest, UnknownTableFails) {
   const Database db = MakeTypedDb();
   Textifier tx;

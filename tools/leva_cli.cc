@@ -41,7 +41,9 @@ void PrintUsage() {
       "                [--dim N] [--method auto|mf|rw] [--bins N]\n"
       "                [--theta-range F] [--theta-min F] [--unweighted]\n"
       "                [--seed N] [--threads N (0 = all hardware threads)]\n"
-      "                [--featurize TABLE TARGET OUT.csv]\n");
+      "                [--featurize TABLE TARGET OUT.csv]\n"
+      "                [--featurize-batch-size N (rows per serving batch; "
+      "0 = whole table)]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -118,6 +120,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         std::fprintf(stderr, "unknown method '%s'\n", v);
         return false;
       }
+    } else if (arg == "--featurize-batch-size") {
+      const char* v = next("--featurize-batch-size");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "--featurize-batch-size expects a non-negative integer, "
+                     "got '%s'\n",
+                     v);
+        return false;
+      }
+      options->config.featurize_batch_size = static_cast<size_t>(parsed);
     } else if (arg == "--featurize") {
       if (i + 3 >= argc) {
         std::fprintf(stderr, "--featurize expects TABLE TARGET OUT.csv\n");
@@ -232,6 +247,17 @@ int RunCli(const CliOptions& options) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
+    double featurize_secs = 0.0;
+    for (const auto& [stage, secs] : pipeline.profile().stages()) {
+      if (stage == "featurize") featurize_secs = secs;
+    }
+    const FeaturizeStats& fs = pipeline.featurize_stats();
+    std::fprintf(stderr,
+                 "featurize: %zu rows in %.3fs (%zu threads, %zu batch(es), "
+                 "%zu tokens, %zu distinct -> %zu store lookups)\n",
+                 fs.rows, featurize_secs, pipeline.profile().threads(),
+                 fs.batches, fs.token_occurrences, fs.distinct_tokens,
+                 fs.store_lookups);
     std::fprintf(stderr, "wrote featurized %s (%s) to %s\n",
                  options.featurize_table.c_str(),
                  classification ? "classification" : "regression",
