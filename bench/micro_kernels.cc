@@ -8,6 +8,7 @@
 #include "datagen/synthetic.h"
 #include "embed/mf.h"
 #include "embed/walks.h"
+#include "embed/word2vec.h"
 #include "graph/alias.h"
 #include "graph/graph.h"
 #include "la/decomp.h"
@@ -251,6 +252,126 @@ BENCHMARK(BM_FeaturizeBatched)
     ->Args({2, 1})
     ->Args({4, 1})
     ->Args({8, 1});
+
+// ---------------------------------------------------------------------------
+// WalkCorpusGen: corpus generation into the legacy nested representation
+// (one heap vector per walk) vs the flat corpus (contiguous token buffer +
+// offsets). items_per_second is walk steps per second.
+// ---------------------------------------------------------------------------
+
+void BM_WalkCorpusGenNested(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  WalkOptions options;
+  options.epochs = 1;
+  options.walk_length = 20;
+  options.threads = 1;
+  WalkGenerator generator(&f.graph, options);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.GenerateNested(&rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.graph.NumNodes()) * 20);
+}
+BENCHMARK(BM_WalkCorpusGenNested);
+
+void BM_WalkCorpusGenFlat(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  WalkOptions options;
+  options.epochs = 1;
+  options.walk_length = 20;
+  options.threads = static_cast<size_t>(state.range(0));
+  WalkGenerator generator(&f.graph, options);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(&rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.graph.NumNodes()) * 20);
+}
+BENCHMARK(BM_WalkCorpusGenFlat)->Arg(1)->Arg(4);
+
+// ---------------------------------------------------------------------------
+// Word2VecThroughput: skip-gram training tokens/sec over a fixed walk
+// corpus — the reference trainer vs the SIMD fast path (sequential and
+// Hogwild) vs the deterministic-parallel merge trainer. The argument is the
+// worker count; items_per_second is corpus tokens per epoch-pass per second.
+// ---------------------------------------------------------------------------
+
+struct W2VFixture {
+  FlatCorpus flat;
+  WalkCorpus nested;
+  size_t vocab = 0;
+
+  W2VFixture() {
+    Fixture& f = GetFixture();
+    WalkOptions options;
+    options.epochs = 1;
+    options.walk_length = 20;
+    options.threads = 1;
+    Rng r1(11);
+    Rng r2(11);
+    WalkGenerator g1(&f.graph, options);
+    flat = std::move(g1.Generate(&r1)).value();
+    WalkGenerator g2(&f.graph, options);
+    nested = std::move(g2.GenerateNested(&r2)).value();
+    vocab = f.graph.NumNodes();
+  }
+};
+
+W2VFixture& GetW2VFixture() {
+  static W2VFixture* fixture = new W2VFixture();
+  return *fixture;
+}
+
+Word2VecOptions W2VBenchOptions() {
+  Word2VecOptions options;
+  options.dim = 64;
+  options.epochs = 1;
+  return options;
+}
+
+void BM_Word2VecThroughputLegacy(benchmark::State& state) {
+  W2VFixture& w = GetW2VFixture();
+  const Word2VecOptions options = W2VBenchOptions();
+  for (auto _ : state) {
+    Word2Vec model(options);
+    Rng rng(12);
+    benchmark::DoNotOptimize(model.TrainLegacy(w.nested, w.vocab, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.flat.num_tokens()));
+}
+BENCHMARK(BM_Word2VecThroughputLegacy);
+
+void BM_Word2VecThroughputFast(benchmark::State& state) {
+  W2VFixture& w = GetW2VFixture();
+  Word2VecOptions options = W2VBenchOptions();
+  options.threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Word2Vec model(options);
+    Rng rng(12);
+    benchmark::DoNotOptimize(model.Train(w.flat, w.vocab, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.flat.num_tokens()));
+}
+BENCHMARK(BM_Word2VecThroughputFast)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Word2VecThroughputDeterministic(benchmark::State& state) {
+  W2VFixture& w = GetW2VFixture();
+  Word2VecOptions options = W2VBenchOptions();
+  options.deterministic = true;
+  options.threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Word2Vec model(options);
+    Rng rng(12);
+    benchmark::DoNotOptimize(model.Train(w.flat, w.vocab, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.flat.num_tokens()));
+}
+BENCHMARK(BM_Word2VecThroughputDeterministic)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace leva

@@ -11,30 +11,29 @@ Status DirectWord2VecModel::Fit(const Database& db) {
   textifier_ = Textifier(textify_options_);
   LEVA_RETURN_IF_ERROR(textifier_.Fit(db));
 
-  // Vocabulary and per-row sentences.
+  // Vocabulary and per-row sentences, appended straight into the flat
+  // corpus (empty rows are dropped by EndSentence).
   std::unordered_map<std::string, uint32_t> vocab;
   std::vector<std::string> vocab_tokens;
-  std::vector<std::vector<uint32_t>> corpus;
+  FlatCorpus corpus;
   token_row_freq_.clear();
   total_rows_ = 0;
 
   for (const Table& t : db.tables()) {
     LEVA_ASSIGN_OR_RETURN(const TextifiedTable tt, textifier_.Transform(t));
     for (const auto& row : tt.rows) {
-      std::vector<uint32_t> sentence;
-      sentence.reserve(row.size());
       std::unordered_map<std::string, bool> seen_in_row;
       for (const TextToken& tok : row) {
         auto [it, inserted] =
             vocab.emplace(tok.token, static_cast<uint32_t>(vocab.size()));
         if (inserted) vocab_tokens.push_back(tok.token);
-        sentence.push_back(it->second);
+        corpus.PushToken(it->second);
         if (!seen_in_row[tok.token]) {
           seen_in_row[tok.token] = true;
           token_row_freq_[tok.token] += 1.0;
         }
       }
-      if (!sentence.empty()) corpus.push_back(std::move(sentence));
+      corpus.EndSentence();
       ++total_rows_;
     }
   }

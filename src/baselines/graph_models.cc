@@ -58,7 +58,7 @@ Status Node2VecModel::Fit(const Database& db) {
   walk_options.walk_length = 20;
   walk_options.epochs = 5;
   WalkGenerator generator(&graph_, walk_options);
-  LEVA_ASSIGN_OR_RETURN(const WalkCorpus corpus, generator.Generate(&rng));
+  LEVA_ASSIGN_OR_RETURN(const FlatCorpus corpus, generator.Generate(&rng));
 
   Word2Vec model(w2v_options_);
   LEVA_RETURN_IF_ERROR(model.Train(corpus, graph_.NumNodes(), &rng));

@@ -77,6 +77,7 @@ constexpr uint64_t kWalkShuffle = 0xA11CE002;
 constexpr uint64_t kWord2Vec = 0xA11CE003;
 constexpr uint64_t kForest = 0xA11CE004;
 constexpr uint64_t kGridSearch = 0xA11CE005;
+constexpr uint64_t kWord2VecDet = 0xA11CE006;
 }  // namespace rngdomain
 
 /// Derives an independent 64-bit seed for task `index` of `domain` from a

@@ -1,0 +1,208 @@
+#ifndef LEVA_COMMON_SIMD_H_
+#define LEVA_COMMON_SIMD_H_
+
+#include <cstddef>
+
+// Shared SIMD plumbing for the hot kernels (featurize gather, skip-gram
+// training): a multi-versioning macro, a prefetch shim, and the inline
+// skip-gram primitives.
+//
+// LEVA_TARGET_CLONES: runtime-dispatched function multi-versioning. Apply it
+// to the HOT OUTER FUNCTION (the loop that calls the kernels below), not to
+// the kernels themselves: the kernels are plain `inline`, so each clone
+// inlines them and compiles their loops with its own ISA — the "avx2" clone
+// gets 256-bit vmulpd/vaddpd with zero per-call dispatch overhead.
+//
+// Bit-exactness contract: the "avx2" clone only enables element-wise
+// operations — correctly-rounded IEEE mul/add, so it produces the same bits
+// as the "default" clone. FMA-capable targets (avx512f, or avx2+fma) are
+// deliberately excluded: contracting mul+add into a single-rounding fma
+// would change the bits, and the differential tests pin bit-identity against
+// the scalar reference paths. Reductions (Dot below) are written in strict
+// source order — without -ffast-math the compiler cannot reassociate them,
+// so every clone rounds them identically too.
+//
+// ThreadSanitizer exclusion: target_clones dispatches through an IFUNC whose
+// resolver runs during relocation, before the TSan runtime is initialized —
+// any instrumented binary segfaults at startup. Under LEVA_SANITIZE=thread
+// the macro collapses to the single "default" version, which is the code
+// path TSan needs to race-check anyway.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
+#define LEVA_TARGET_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define LEVA_TARGET_CLONES
+#endif
+
+#if defined(__GNUC__)
+#define LEVA_PREFETCH(p) __builtin_prefetch(p)
+#else
+#define LEVA_PREFETCH(p)
+#endif
+
+// Marks a function whose data races are by design — the Hogwild SGD path
+// updates weight rows lock-free and tolerates collisions (Recht et al.,
+// NIPS'11). Only used on those kernels, so the deterministic trainer and the
+// rest of the execution layer stay fully TSan-instrumented; code inlined into
+// an annotated function is likewise uninstrumented, which covers the inline
+// kernels above when they land in a Hogwild caller.
+#if defined(__SANITIZE_THREAD__)
+#define LEVA_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define LEVA_NO_SANITIZE_THREAD
+#endif
+
+// The kernels below must actually inline for two reasons: the target_clones
+// caller pattern (each clone recompiles the kernel loops with its ISA) and
+// the TSan exemption above (instrumentation is decided per containing
+// function, so a kernel only escapes it when inlined into an annotated
+// caller — out-of-line it would be instrumented even in Hogwild, or worse,
+// exempted everywhere if annotated directly). always_inline holds at -O0,
+// which is how sanitizer builds compile.
+#if defined(__GNUC__)
+#define LEVA_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define LEVA_ALWAYS_INLINE inline
+#endif
+
+namespace leva {
+namespace simd {
+
+// None of these kernels may use FMA contraction or reassociation: each is
+// the bit-exact element-wise form of a scalar reference loop (see above).
+// The two-stream skip-gram updates vectorize because node and context rows
+// come from distinct matrices (never aliased) and the gradient buffer is
+// caller-private — stated to the compiler via the __restrict locals.
+
+/// Strict-order dot product sum_j a[j]*b[j]. The accumulation order is the
+/// plain source order at every ISA level, so the result is bit-identical to
+/// the scalar reference loop.
+LEVA_ALWAYS_INLINE double Dot(const double* a, const double* b, size_t n) {
+  double dot = 0.0;
+  for (size_t j = 0; j < n; ++j) dot += a[j] * b[j];
+  return dot;
+}
+
+/// Strict-order dot products of `c` against `nt` DISTINCT rows:
+///   out[t] = sum_j c[j] * rows[t][j]
+/// with each sum accumulated in plain source order, so every out[t] is
+/// bit-identical to Dot(c, rows[t], n). Rows are processed in interleaved
+/// groups (6/4/2-wide) whose serial FP-add chains overlap in the pipeline:
+/// a single dot's chain of dependent adds is the latency bottleneck of the
+/// skip-gram loop, and six independent chains run in roughly the time of
+/// one. Callers must guarantee the rows are pairwise distinct (aliased rows
+/// would still produce the same bits here, but the skip-gram caller relies
+/// on distinctness so later row UPDATES cannot feed earlier dots).
+LEVA_ALWAYS_INLINE void DotBatch(const double* c, double* const* rows, size_t nt,
+                     size_t n, double* out) {
+  size_t t = 0;
+  for (; t + 6 <= nt; t += 6) {
+    const double* __restrict r0 = rows[t];
+    const double* __restrict r1 = rows[t + 1];
+    const double* __restrict r2 = rows[t + 2];
+    const double* __restrict r3 = rows[t + 3];
+    const double* __restrict r4 = rows[t + 4];
+    const double* __restrict r5 = rows[t + 5];
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0, s4 = 0.0, s5 = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double cj = c[j];
+      s0 += cj * r0[j];
+      s1 += cj * r1[j];
+      s2 += cj * r2[j];
+      s3 += cj * r3[j];
+      s4 += cj * r4[j];
+      s5 += cj * r5[j];
+    }
+    out[t] = s0;
+    out[t + 1] = s1;
+    out[t + 2] = s2;
+    out[t + 3] = s3;
+    out[t + 4] = s4;
+    out[t + 5] = s5;
+  }
+  for (; t + 4 <= nt; t += 4) {
+    const double* __restrict r0 = rows[t];
+    const double* __restrict r1 = rows[t + 1];
+    const double* __restrict r2 = rows[t + 2];
+    const double* __restrict r3 = rows[t + 3];
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double cj = c[j];
+      s0 += cj * r0[j];
+      s1 += cj * r1[j];
+      s2 += cj * r2[j];
+      s3 += cj * r3[j];
+    }
+    out[t] = s0;
+    out[t + 1] = s1;
+    out[t + 2] = s2;
+    out[t + 3] = s3;
+  }
+  for (; t + 2 <= nt; t += 2) {
+    const double* __restrict r0 = rows[t];
+    const double* __restrict r1 = rows[t + 1];
+    double s0 = 0.0, s1 = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double cj = c[j];
+      s0 += cj * r0[j];
+      s1 += cj * r1[j];
+    }
+    out[t] = s0;
+    out[t + 1] = s1;
+  }
+  for (; t < nt; ++t) out[t] = Dot(c, rows[t], n);
+}
+
+/// First (positive-sample) step of a skip-gram pair:
+///   grad[j]   = g * target[j] + 0.0;
+///   target[j] += g * center[j];
+/// The `+ 0.0` reproduces the reference path's zeroed-buffer accumulation
+/// (`0.0 + x` normalizes -0.0 exactly like the fill-then-add it replaces)
+/// without paying a separate std::fill pass over the gradient buffer.
+LEVA_ALWAYS_INLINE void SkipGramInit(double g, const double* center, double* target,
+                         double* grad, size_t n) {
+  const double* __restrict c = center;
+  double* __restrict t = target;
+  double* __restrict d = grad;
+  for (size_t j = 0; j < n; ++j) {
+    d[j] = g * t[j] + 0.0;
+    t[j] += g * c[j];
+  }
+}
+
+/// Negative-sample step of a skip-gram pair:
+///   grad[j]   += g * target[j];
+///   target[j] += g * center[j];
+LEVA_ALWAYS_INLINE void SkipGramAccum(double g, const double* center, double* target,
+                          double* grad, size_t n) {
+  const double* __restrict c = center;
+  double* __restrict t = target;
+  double* __restrict d = grad;
+  for (size_t j = 0; j < n; ++j) {
+    d[j] += g * t[j];
+    t[j] += g * c[j];
+  }
+}
+
+/// x[j] += d[j]. Applies the accumulated pair gradient to the center vector.
+LEVA_ALWAYS_INLINE void VecAdd(double* x, const double* d, size_t n) {
+  double* __restrict out = x;
+  const double* __restrict in = d;
+  for (size_t j = 0; j < n; ++j) out[j] += in[j];
+}
+
+/// x[j] += a[j] - b[j]. Merges one shard's weight delta (local minus
+/// round-start snapshot) into the shared matrix in the deterministic
+/// parallel trainer.
+LEVA_ALWAYS_INLINE void VecAddDelta(double* x, const double* a, const double* b,
+                        size_t n) {
+  double* __restrict out = x;
+  const double* __restrict cur = a;
+  const double* __restrict orig = b;
+  for (size_t j = 0; j < n; ++j) out[j] += cur[j] - orig[j];
+}
+
+}  // namespace simd
+}  // namespace leva
+
+#endif  // LEVA_COMMON_SIMD_H_

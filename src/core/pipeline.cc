@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/token_resolver.h"
 
 namespace leva {
@@ -35,12 +36,6 @@ std::vector<std::string> FeatureNames(size_t dim, size_t width) {
 // resolved arrays are padded by this much so the loop needs no bounds check.
 constexpr size_t kPrefetchDist = 4;
 
-#if defined(__GNUC__)
-#define LEVA_PREFETCH(p) __builtin_prefetch(p)
-#else
-#define LEVA_PREFETCH(p)
-#endif
-
 // Resolved occurrences of one textified column over a batch of rows:
 // (embedding row pointer, weight) per token — null for unseen tokens — with
 // offsets local to the batch. Resolving down to raw row pointers in phase 1
@@ -54,17 +49,6 @@ struct ResolvedColumn {
   std::vector<Occ> occ;
   std::vector<size_t> offsets;
 };
-
-// Runtime-dispatched SIMD clones for the two dense inner loops of the
-// gather. vmulpd/vaddpd/vdivpd are correctly-rounded element-wise IEEE
-// operations, so the avx2 clone produces the same bits as the scalar loop.
-// FMA-capable targets (e.g. avx512f) are deliberately excluded: contracting
-// mul+add into a single-rounding fma would change the bits.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-#define LEVA_TARGET_CLONES __attribute__((target_clones("default", "avx2")))
-#else
-#define LEVA_TARGET_CLONES
-#endif
 
 // Weighted-mean gather over one chunk of rows [begin, end): accumulate every
 // resolved token of every column into a chunk-local row buffer, divide by the
@@ -192,7 +176,7 @@ Status LevaPipeline::Fit(const Database& db) {
     line.dim = config_.embedding_dim;
     LEVA_ASSIGN_OR_RETURN(node_vectors, LineEmbed(graph_, line, &rng));
   } else {
-    WalkCorpus corpus;
+    FlatCorpus corpus;
     {
       ScopedStageTimer timer(&profile_, "walk_generation");
       WalkOptions walk_options = config_.walks;

@@ -13,6 +13,10 @@ namespace {
 // count.
 constexpr size_t kWalkGrain = 64;
 
+// Nodes per chunk of the alias-table build. Each table is O(degree) work, so
+// a larger grain than the walk sharding keeps dispatch overhead negligible.
+constexpr size_t kAliasGrain = 256;
+
 }  // namespace
 
 WalkGenerator::WalkGenerator(const LevaGraph* graph, WalkOptions options)
@@ -20,12 +24,19 @@ WalkGenerator::WalkGenerator(const LevaGraph* graph, WalkOptions options)
   if (options_.weighted) {
     const size_t n = graph_->NumNodes();
     alias_.resize(n);
-    std::vector<double> w;
-    for (NodeId i = 0; i < n; ++i) {
-      const auto weights = graph_->Weights(i);
-      w.assign(weights.begin(), weights.end());
-      alias_[i] = AliasTable(w);
-    }
+    // The build is a sequential O(edges) startup cost on large graphs;
+    // tables land at disjoint indices, so shard it across the pool with a
+    // chunk-local weight buffer. No RNG is involved, so the result is
+    // trivially thread-count invariant.
+    ParallelFor(ResolveThreads(options_.threads), 0, n, kAliasGrain,
+                [&](size_t b, size_t e) {
+                  std::vector<double> w;
+                  for (NodeId i = static_cast<NodeId>(b); i < e; ++i) {
+                    const auto weights = graph_->Weights(i);
+                    w.assign(weights.begin(), weights.end());
+                    alias_[i] = AliasTable(w);
+                  }
+                });
   }
 }
 
@@ -78,28 +89,33 @@ NodeId WalkGenerator::Step(NodeId current, NodeId previous,
   return nbrs.back();
 }
 
-void WalkGenerator::Trajectory(NodeId start, Rng* rng,
-                               std::vector<NodeId>* out) const {
-  out->clear();
-  out->reserve(options_.walk_length);
+size_t WalkGenerator::Trajectory(NodeId start, Rng* rng, NodeId* out) const {
+  size_t len = 0;
   NodeId prev = kInvalidNode;
   std::span<const NodeId> prev_nbrs;
   NodeId cur = start;
   for (size_t step = 0; step < options_.walk_length; ++step) {
-    out->push_back(cur);
+    out[len++] = cur;
     const NodeId next = Step(cur, prev, prev_nbrs, rng);
     if (next == kInvalidNode) break;
     prev = cur;
     prev_nbrs = graph_->Neighbors(cur);
     cur = next;
   }
+  return len;
 }
 
-Result<WalkCorpus> WalkGenerator::Generate(Rng* rng) {
+void WalkGenerator::Trajectory(NodeId start, Rng* rng,
+                               std::vector<NodeId>* out) const {
+  out->resize(options_.walk_length);
+  out->resize(Trajectory(start, rng, out->data()));
+}
+
+Result<FlatCorpus> WalkGenerator::Generate(Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("rng is required");
   const size_t n = graph_->NumNodes();
   visits_.assign(n, 0);
-  WalkCorpus corpus;
+  FlatCorpus corpus;
   if (n == 0 || options_.epochs == 0) return corpus;
 
   const size_t threads = ResolveThreads(options_.threads);
@@ -114,7 +130,101 @@ Result<WalkCorpus> WalkGenerator::Generate(Rng* rng) {
     restart_epochs = std::min(options_.restart_epochs, options_.epochs);
     normal_epochs = options_.epochs - restart_epochs;
   }
-  // Every epoch (normal and restart) emits up to one walk per node.
+  // Every epoch (normal and restart) emits up to one walk per node; with no
+  // visit limit every stepped token survives, so reserve the exact worst
+  // case up front and the token buffer never reallocates.
+  const size_t tokens_per_epoch = n * options_.walk_length;
+  corpus.Reserve(options_.epochs * n,
+                 options_.visit_limit == 0
+                     ? options_.epochs * tokens_per_epoch
+                     : tokens_per_epoch);
+
+  // Per-epoch trajectory slab: walk i steps into slot [i * walk_length, ...).
+  // Allocated once and reused by every epoch — no per-walk heap churn.
+  std::vector<NodeId> traj(tokens_per_epoch);
+  std::vector<uint32_t> traj_len(n);
+  const auto run_epoch = [&](size_t epoch, const std::vector<NodeId>& starts) {
+    ParallelFor(threads, 0, n, kWalkGrain, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        Rng walk_rng = StreamRng(base_seed, rngdomain::kWalk,
+                                 static_cast<uint64_t>(epoch) * n + i);
+        traj_len[i] = static_cast<uint32_t>(
+            Trajectory(starts[i], &walk_rng, traj.data() + i * options_.walk_length));
+      }
+    });
+    // Epoch barrier: apply the visit-limit filter sequentially in walk order,
+    // merging per-walk counts into `visits_`. This preserves the sequential
+    // generator's exact guarantee that no node is emitted more than
+    // `visit_limit` times while keeping the stepping above embarrassingly
+    // parallel (trajectories never read `visits_`). Surviving tokens are
+    // appended straight into the corpus; EndSentence drops empty walks.
+    for (size_t i = 0; i < n; ++i) {
+      const NodeId* walk = traj.data() + i * options_.walk_length;
+      const size_t len = traj_len[i];
+      if (options_.visit_limit == 0) {
+        // No filter: bulk-append the whole trajectory (one memcpy into the
+        // token buffer) instead of pushing token by token.
+        corpus.AppendSentence({walk, len});
+        for (size_t j = 0; j < len; ++j) ++visits_[walk[j]];
+        continue;
+      } else {
+        for (size_t j = 0; j < len; ++j) {
+          const NodeId cur = walk[j];
+          if (visits_[cur] >= options_.visit_limit) continue;
+          corpus.PushToken(cur);
+          ++visits_[cur];
+        }
+      }
+      corpus.EndSentence();
+    }
+  };
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t e = 0; e < normal_epochs; ++e) {
+    Rng shuffle_rng = StreamRng(base_seed, rngdomain::kWalkShuffle, e);
+    shuffle_rng.Shuffle(&order);
+    run_epoch(e, order);
+  }
+
+  if (restart_epochs > 0) {
+    // Worst-represented quartile by merged visit count; restarting from these
+    // nodes balances their representation in the corpus (Section 4.2.2). The
+    // quartile is recomputed at every restart-epoch barrier so each epoch
+    // re-targets the nodes that are worst *now*, not the ones that were worst
+    // before any balancing ran. Ties break by node id so the start list is a
+    // pure function of the merged counts.
+    std::vector<NodeId> by_visits(n);
+    std::vector<NodeId> starts(n);
+    const size_t worst = std::max<size_t>(1, n / 4);
+    for (size_t e = 0; e < restart_epochs; ++e) {
+      std::iota(by_visits.begin(), by_visits.end(), 0);
+      std::sort(by_visits.begin(), by_visits.end(), [&](NodeId a, NodeId b) {
+        return visits_[a] != visits_[b] ? visits_[a] < visits_[b] : a < b;
+      });
+      for (size_t i = 0; i < n; ++i) starts[i] = by_visits[i % worst];
+      run_epoch(normal_epochs + e, starts);
+    }
+  }
+  return corpus;
+}
+
+Result<WalkCorpus> WalkGenerator::GenerateNested(Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
+  const size_t n = graph_->NumNodes();
+  visits_.assign(n, 0);
+  WalkCorpus corpus;
+  if (n == 0 || options_.epochs == 0) return corpus;
+
+  const size_t threads = ResolveThreads(options_.threads);
+  const uint64_t base_seed = rng->Next();
+
+  size_t normal_epochs = options_.epochs;
+  size_t restart_epochs = 0;
+  if (options_.balanced_restarts) {
+    restart_epochs = std::min(options_.restart_epochs, options_.epochs);
+    normal_epochs = options_.epochs - restart_epochs;
+  }
   corpus.reserve(options_.epochs * n);
 
   std::vector<std::vector<NodeId>> batch(n);  // per-walk trajectory slots
@@ -126,11 +236,6 @@ Result<WalkCorpus> WalkGenerator::Generate(Rng* rng) {
         Trajectory(starts[i], &walk_rng, &batch[i]);
       }
     });
-    // Epoch barrier: apply the visit-limit filter sequentially in walk order,
-    // merging per-walk counts into `visits_`. This preserves the sequential
-    // generator's exact guarantee that no node is emitted more than
-    // `visit_limit` times while keeping the stepping above embarrassingly
-    // parallel (trajectories never read `visits_`).
     for (size_t i = 0; i < n; ++i) {
       std::vector<NodeId>& traj = batch[i];
       if (options_.visit_limit == 0) {
@@ -158,12 +263,6 @@ Result<WalkCorpus> WalkGenerator::Generate(Rng* rng) {
   }
 
   if (restart_epochs > 0) {
-    // Worst-represented quartile by merged visit count; restarting from these
-    // nodes balances their representation in the corpus (Section 4.2.2). The
-    // quartile is recomputed at every restart-epoch barrier so each epoch
-    // re-targets the nodes that are worst *now*, not the ones that were worst
-    // before any balancing ran. Ties break by node id so the start list is a
-    // pure function of the merged counts.
     std::vector<NodeId> by_visits(n);
     std::vector<NodeId> starts(n);
     const size_t worst = std::max<size_t>(1, n / 4);

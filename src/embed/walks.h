@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "embed/corpus.h"
 #include "graph/alias.h"
 #include "graph/graph.h"
 
@@ -30,11 +31,14 @@ struct WalkOptions {
   double q = 1.0;
   /// Worker threads sharding each epoch's walks (0 = hardware). Every walk
   /// draws from its own counter-based RNG stream, so the corpus is
-  /// bit-identical at any thread count for a given seed.
+  /// bit-identical at any thread count for a given seed. Also shards the
+  /// per-node alias-table build in the constructor.
   size_t threads = 1;
 };
 
-/// A corpus is a list of node-id walks ("sentences" for Word2Vec).
+/// Legacy nested corpus representation: one heap vector per walk. Kept for
+/// the differential tests against the flat fast path (GenerateNested) and
+/// for Word2Vec::TrainLegacy.
 using WalkCorpus = std::vector<std::vector<NodeId>>;
 
 /// Generates random-walk corpora over a LevaGraph: plain uniform, weighted
@@ -47,6 +51,11 @@ using WalkCorpus = std::vector<std::vector<NodeId>>;
 /// exact (a node is never emitted more than `visit_limit` times) while the
 /// expensive stepping scales across the pool; the balanced-restart quartile
 /// is computed from the counts merged at the barrier.
+///
+/// Trajectories are stepped into one flat per-epoch scratch buffer (a
+/// walk_length-strided slab reused across epochs) and the filter barrier
+/// appends surviving tokens straight into the FlatCorpus token buffer, so
+/// the generator performs no per-walk heap allocation.
 class WalkGenerator {
  public:
   WalkGenerator(const LevaGraph* graph, WalkOptions options);
@@ -54,9 +63,14 @@ class WalkGenerator {
   /// Generates the full corpus. Deterministic given `rng`'s state — the base
   /// seed for all per-walk streams is drawn from it — and independent of
   /// `options.threads`.
-  Result<WalkCorpus> Generate(Rng* rng);
+  Result<FlatCorpus> Generate(Rng* rng);
 
-  /// Visit counts from the last Generate call (per node).
+  /// Reference generator producing the legacy nested corpus. Emits the same
+  /// walks as Generate for the same rng state (pinned differentially in
+  /// tests/word2vec_test.cc); kept as the slow baseline.
+  Result<WalkCorpus> GenerateNested(Rng* rng);
+
+  /// Visit counts from the last Generate/GenerateNested call (per node).
   const std::vector<size_t>& visit_counts() const { return visits_; }
 
   /// Bytes consumed by the alias tables (zero for unweighted walks); the
@@ -64,7 +78,11 @@ class WalkGenerator {
   size_t AliasMemoryBytes() const;
 
  private:
-  // The raw node sequence from `start` (before visit-limit filtering).
+  // Steps the raw node sequence from `start` (before visit-limit filtering)
+  // into `out`, which must hold walk_length slots. Returns the number of
+  // nodes written.
+  size_t Trajectory(NodeId start, Rng* rng, NodeId* out) const;
+  // Legacy vector form, layered on the buffer version.
   void Trajectory(NodeId start, Rng* rng, std::vector<NodeId>* out) const;
   NodeId Step(NodeId current, NodeId previous,
               std::span<const NodeId> prev_nbrs, Rng* rng) const;

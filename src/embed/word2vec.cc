@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <span>
+#include <unordered_map>
+#include <utility>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "graph/alias.h"
 
 namespace leva {
@@ -14,8 +18,22 @@ namespace {
 constexpr int kExpTableSize = 1000;
 constexpr double kMaxExp = 6.0;
 
-// Sentences per Hogwild shard.
+// Sentences per Hogwild / deterministic shard.
 constexpr size_t kSentenceGrain = 64;
+
+// Stack capacity for a skip-gram pair's batched target list (positive +
+// negatives). `negative` options at or beyond this fall back to the serial
+// reference interleaving.
+constexpr size_t kMaxDotBatch = 16;
+
+// Maximum sentences per deterministic-parallel merge round (a multiple of
+// kSentenceGrain so shard boundaries line up at any round offset). Shards
+// within a round train against the weights frozen at the round start; a
+// bounded round keeps the staleness — and therefore the summed-delta
+// overshoot on hub rows — small while still amortizing the merge barrier.
+// The actual round size shrinks with the corpus (see TrainDeterministic) so
+// tiny corpora don't collapse into a single stale batch update.
+constexpr size_t kDetRound = 16 * kSentenceGrain;
 
 struct SigmoidTable {
   double values[kExpTableSize];
@@ -34,20 +52,424 @@ struct SigmoidTable {
   }
 };
 
-double Sigmoid(double x) {
-  static const SigmoidTable table;
-  return table(x);
+// Namespace-scope constant shared by the legacy and fast paths: built once at
+// program start, so the hot loops pay no thread-safe-static guard per call.
+const SigmoidTable kSigmoid;
+
+double Sigmoid(double x) { return kSigmoid(x); }
+
+// Everything derived from the token frequencies that both trainers share:
+// the negative-sampling distribution and the subsampling keep-probabilities.
+// Pure function of (freq, total_tokens, options), so legacy and fast paths
+// compute bit-identical tables.
+struct TrainPlan {
+  std::vector<double> keep;
+  AliasTable negatives;
+  size_t total_tokens = 0;
+  size_t total_steps = 1;
+};
+
+TrainPlan MakePlan(const std::vector<double>& freq, size_t total_tokens,
+                   const Word2VecOptions& options) {
+  TrainPlan plan;
+  plan.total_tokens = total_tokens;
+  plan.total_steps = std::max<size_t>(1, options.epochs * total_tokens);
+  const size_t vocab_size = freq.size();
+
+  std::vector<double> noise(vocab_size);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    noise[i] = std::pow(freq[i], options.unigram_power);
+  }
+  plan.negatives = AliasTable(noise);
+
+  // Subsampling keep-probability per token (word2vec formula).
+  plan.keep.assign(vocab_size, 1.0);
+  if (options.subsample > 0) {
+    for (size_t i = 0; i < vocab_size; ++i) {
+      if (freq[i] <= 0) continue;
+      const double f = freq[i] / static_cast<double>(total_tokens);
+      plan.keep[i] = std::min(
+          1.0, std::sqrt(options.subsample / f) + options.subsample / f);
+    }
+  }
+  return plan;
+}
+
+// Weight initialization shared by every path; consumes rng in a fixed order.
+void InitWeights(size_t vocab_size, size_t dim, Rng* rng, Matrix* node,
+                 Matrix* context) {
+  *node = Matrix(vocab_size, dim);
+  *context = Matrix(vocab_size, dim);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      (*node)(i, j) = (rng->Uniform() - 0.5) / static_cast<double>(dim);
+    }
+  }
+}
+
+// Copy-on-first-touch view over the rows of a weight matrix that one
+// deterministic shard updates. `cur` holds the shard's working copies (plain
+// sequential SGD within the shard), `orig` the round-start snapshot, so the
+// merge applies cur - orig per row. Insertion order is recorded in `rows` and
+// is a pure function of the shard's sentences, making the merge order
+// thread-count invariant.
+struct ShardRows {
+  std::unordered_map<uint32_t, uint32_t> slot;
+  std::vector<uint32_t> rows;
+  std::vector<double> cur;
+  std::vector<double> orig;
+
+  double* Touch(const Matrix& m, uint32_t row, size_t dim) {
+    const auto [it, inserted] =
+        slot.emplace(row, static_cast<uint32_t>(rows.size()));
+    if (inserted) {
+      rows.push_back(row);
+      const double* src = m.RowPtr(row);
+      cur.insert(cur.end(), src, src + dim);
+      orig.insert(orig.end(), src, src + dim);
+    }
+    return cur.data() + static_cast<size_t>(it->second) * dim;
+  }
+};
+
+struct ShardUpdate {
+  ShardRows node;
+  ShardRows ctx;
+};
+
+// One deterministic shard: sequential skip-gram SGD over sentences [b, e)
+// against the round-start weights, updates going to copy-on-first-touch
+// private rows in `u`. Multi-versioned so the inline simd kernels compile
+// under each clone's ISA (see simd.h); reads of node/context are safe because
+// the round freezes them.
+LEVA_TARGET_CLONES
+void TrainShardDet(const Word2VecOptions& options, const TrainPlan& plan,
+                   const FlatCorpus& corpus, size_t b, size_t e, size_t epoch,
+                   Rng* shard_rng, const Matrix& node, const Matrix& context,
+                   ShardUpdate* u) {
+  const size_t dim = options.dim;
+  const auto& offsets = corpus.offsets();
+  std::vector<double> grad(dim);
+  std::vector<uint32_t> kept;
+  for (size_t s = b; s < e; ++s) {
+    const std::span<const uint32_t> sentence = corpus[s];
+    kept.clear();
+    for (const uint32_t t : sentence) {
+      if (plan.keep[t] >= 1.0 || shard_rng->Uniform() < plan.keep[t]) {
+        kept.push_back(t);
+      }
+    }
+    for (size_t pos = 0; pos < kept.size(); ++pos) {
+      // The learning-rate step is derived from the sentence's raw token
+      // offset in the flat corpus — a pure function of (epoch, sentence,
+      // position), never of execution order.
+      const size_t step = epoch * plan.total_tokens + offsets[s] + pos + 1;
+      const double lr =
+          options.learning_rate *
+          std::max(1e-4, 1.0 - static_cast<double>(step) /
+                                   static_cast<double>(plan.total_steps));
+      const size_t shrink = shard_rng->UniformInt(options.window) + 1;
+      const size_t begin = pos >= shrink ? pos - shrink : 0;
+      const size_t end = std::min(kept.size(), pos + shrink + 1);
+      const uint32_t center = kept[pos];
+      for (size_t cpos = begin; cpos < end; ++cpos) {
+        if (cpos == pos) continue;
+        const uint32_t ctx = kept[cpos];
+        // Touch may grow the context-row arena, so the center pointer (node
+        // arena, untouched inside the k loop) is fetched once and target
+        // pointers are re-fetched per sample.
+        double* center_vec = u->node.Touch(node, center, dim);
+        for (size_t k = 0; k <= options.negative; ++k) {
+          uint32_t target;
+          double label;
+          if (k == 0) {
+            target = ctx;
+            label = 1.0;
+          } else {
+            target = plan.negatives.Sample(shard_rng);
+            if (target == ctx) continue;
+            label = 0.0;
+          }
+          double* target_vec = u->ctx.Touch(context, target, dim);
+          const double dot = simd::Dot(center_vec, target_vec, dim);
+          const double gcoef = (label - Sigmoid(dot)) * lr;
+          if (k == 0) {
+            simd::SkipGramInit(gcoef, center_vec, target_vec, grad.data(),
+                               dim);
+          } else {
+            simd::SkipGramAccum(gcoef, center_vec, target_vec, grad.data(),
+                                dim);
+          }
+        }
+        simd::VecAdd(center_vec, grad.data(), dim);
+      }
+    }
+  }
+}
+
+// Merges the per-shard weight deltas in fixed sentence-shard order (and
+// row-first-touch order within a shard) — both pure functions of the seed,
+// never of the thread count.
+LEVA_TARGET_CLONES
+void MergeShardUpdates(std::vector<ShardUpdate>* updates, size_t dim,
+                       Matrix* node, Matrix* context) {
+  for (ShardUpdate& u : *updates) {
+    for (size_t i = 0; i < u.node.rows.size(); ++i) {
+      simd::VecAddDelta(node->RowPtr(u.node.rows[i]),
+                        u.node.cur.data() + i * dim,
+                        u.node.orig.data() + i * dim, dim);
+    }
+    for (size_t i = 0; i < u.ctx.rows.size(); ++i) {
+      simd::VecAddDelta(context->RowPtr(u.ctx.rows[i]),
+                        u.ctx.cur.data() + i * dim,
+                        u.ctx.orig.data() + i * dim, dim);
+    }
+  }
+}
+
+// Skip-gram SGD over one sentence via the inline simd kernels; multi-
+// versioned so the kernels compile under each clone's ISA. Shared by the
+// sequential and Hogwild paths; in the latter, reads/writes of node/context
+// rows are intentionally unsynchronized (sparse updates collide rarely), so
+// the function is exempt from TSan — the deterministic path (TrainShardDet /
+// MergeShardUpdates) never touches shared rows mid-round and stays
+// instrumented.
+LEVA_TARGET_CLONES
+LEVA_NO_SANITIZE_THREAD
+void TrainSentenceFast(const Word2VecOptions& options, const TrainPlan& plan,
+                       std::span<const uint32_t> sentence, Rng* r,
+                       std::atomic<size_t>* steps, Matrix* node,
+                       Matrix* context, std::vector<double>* grad,
+                       std::vector<uint32_t>* kept,
+                       std::vector<uint32_t>* negs) {
+  const size_t dim = options.dim;
+  kept->clear();
+  for (const uint32_t t : sentence) {
+    if (plan.keep[t] >= 1.0 || r->Uniform() < plan.keep[t]) {
+      kept->push_back(t);
+    }
+  }
+  if (kept->empty()) return;
+  const size_t base = steps->fetch_add(kept->size(), std::memory_order_relaxed);
+  double* g = grad->data();
+  negs->resize(options.negative);
+  for (size_t pos = 0; pos < kept->size(); ++pos) {
+    const size_t step = base + pos + 1;
+    const double lr =
+        options.learning_rate *
+        std::max(1e-4, 1.0 - static_cast<double>(step) /
+                                 static_cast<double>(plan.total_steps));
+    // Dynamic window shrink, as in the reference implementation.
+    const size_t shrink = r->UniformInt(options.window) + 1;
+    const size_t begin = pos >= shrink ? pos - shrink : 0;
+    const size_t end = std::min(kept->size(), pos + shrink + 1);
+    const uint32_t center = (*kept)[pos];
+    double* center_vec = node->RowPtr(center);
+    for (size_t cpos = begin; cpos < end; ++cpos) {
+      if (cpos == pos) continue;
+      const uint32_t ctx = (*kept)[cpos];
+      // Draw the pair's negatives up front — the same draws in the same
+      // order as the reference's interleaved sampling — and assemble the
+      // pair's target list: the positive context first, then every negative
+      // that differs from it (the reference skips those).
+      for (size_t k = 0; k < options.negative; ++k) {
+        (*negs)[k] = plan.negatives.Sample(r);
+      }
+      uint32_t tids[kMaxDotBatch];
+      double* rows[kMaxDotBatch];
+      double dots[kMaxDotBatch];
+      size_t nt = 0;
+      bool distinct = options.negative < kMaxDotBatch;
+      if (distinct) {
+        tids[nt++] = ctx;
+        for (size_t k = 0; k < options.negative; ++k) {
+          const uint32_t t = (*negs)[k];
+          if (t == ctx) continue;
+          for (size_t i = 1; i < nt; ++i) distinct &= (tids[i] != t);
+          tids[nt++] = t;
+        }
+      }
+      if (distinct) {
+        // All targets hit distinct context rows, so no update in this pair
+        // feeds a later dot: compute every dot up front with the interleaved
+        // batch kernel (bit-identical sums, ~one dot-chain's latency), then
+        // apply the updates in the reference order. k == 0 initializes the
+        // gradient buffer in-kernel, so no std::fill per pair.
+        for (size_t t = 0; t < nt; ++t) rows[t] = context->RowPtr(tids[t]);
+        simd::DotBatch(center_vec, rows, nt, dim, dots);
+        for (size_t t = 0; t < nt; ++t) {
+          const double label = t == 0 ? 1.0 : 0.0;
+          const double gcoef = (label - Sigmoid(dots[t])) * lr;
+          if (t == 0) {
+            simd::SkipGramInit(gcoef, center_vec, rows[t], g, dim);
+          } else {
+            simd::SkipGramAccum(gcoef, center_vec, rows[t], g, dim);
+          }
+        }
+      } else {
+        // A repeated negative row (or an oversized batch): fall back to the
+        // reference's serial interleaving, where each dot sees all earlier
+        // updates of this pair.
+        for (size_t k = 0; k <= options.negative; ++k) {
+          uint32_t target;
+          double label;
+          if (k == 0) {
+            target = ctx;
+            label = 1.0;
+          } else {
+            target = (*negs)[k - 1];
+            if (target == ctx) continue;
+            label = 0.0;
+          }
+          double* target_vec = context->RowPtr(target);
+          const double dot = simd::Dot(center_vec, target_vec, dim);
+          const double gcoef = (label - Sigmoid(dot)) * lr;
+          if (k == 0) {
+            simd::SkipGramInit(gcoef, center_vec, target_vec, g, dim);
+          } else {
+            simd::SkipGramAccum(gcoef, center_vec, target_vec, g, dim);
+          }
+        }
+      }
+      simd::VecAdd(center_vec, g, dim);
+    }
+  }
+}
+
+// Deterministic-parallel trainer: shards of kSentenceGrain sentences train
+// against the weights frozen at the start of a kDetRound-sentence round,
+// each shard doing plain sequential SGD on private row copies; the shard
+// deltas merge in fixed shard order at the round barrier. Output is a pure
+// function of (corpus, seed) at any thread count.
+Status TrainDeterministic(const Word2VecOptions& options,
+                          const FlatCorpus& corpus, const TrainPlan& plan,
+                          size_t threads, Rng* rng, Matrix* node,
+                          Matrix* context) {
+  const size_t dim = options.dim;
+  const size_t num_sentences = corpus.size();
+  const size_t shards_per_epoch =
+      (num_sentences + kSentenceGrain - 1) / kSentenceGrain;
+  const uint64_t base_seed = rng->Next();
+
+  // Round size scales with the corpus (roughly eight merge rounds per epoch,
+  // capped at kDetRound): a corpus smaller than ~8 shards runs one shard per
+  // round, which is plain sequential SGD with periodic (no-op) merges, while
+  // large corpora amortize the barrier over the full 16-shard round. A pure
+  // function of the corpus size — never of the thread count — so the output
+  // stays thread-count invariant.
+  const size_t round_size =
+      std::clamp<size_t>(num_sentences / (8 * kSentenceGrain), 1,
+                         kDetRound / kSentenceGrain) *
+      kSentenceGrain;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t rb = 0; rb < num_sentences; rb += round_size) {
+      const size_t re = std::min(num_sentences, rb + round_size);
+      const size_t round_shards =
+          (re - rb + kSentenceGrain - 1) / kSentenceGrain;
+      std::vector<ShardUpdate> updates(round_shards);
+
+      // Workers only READ node/context (frozen for the round) and write
+      // shard-private state, so this is race-free by construction; the merge
+      // below happens after the ParallelFor barrier.
+      ParallelFor(threads, rb, re, kSentenceGrain, [&](size_t b, size_t e) {
+        ShardUpdate u;
+        Rng shard_rng =
+            StreamRng(base_seed, rngdomain::kWord2VecDet,
+                      epoch * shards_per_epoch + b / kSentenceGrain);
+        TrainShardDet(options, plan, corpus, b, e, epoch, &shard_rng, *node,
+                      *context, &u);
+        updates[(b - rb) / kSentenceGrain] = std::move(u);
+      });
+
+      MergeShardUpdates(&updates, dim, node, context);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
 Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
                        size_t vocab_size, Rng* rng) {
+  return Train(Flatten(corpus), vocab_size, rng);
+}
+
+Status Word2Vec::Train(const FlatCorpus& corpus, size_t vocab_size, Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("rng is required");
   if (vocab_size == 0) return Status::InvalidArgument("empty vocabulary");
   const size_t dim = options_.dim;
 
   // Token frequencies drive both subsampling and the negative distribution.
+  // The flat layout makes this a single streaming pass.
+  std::vector<double> freq(vocab_size, 0.0);
+  for (const uint32_t t : corpus.tokens()) {
+    if (t >= vocab_size) return Status::OutOfRange("token id exceeds vocab size");
+    freq[t] += 1.0;
+  }
+  const size_t total_tokens = corpus.num_tokens();
+  if (total_tokens == 0) return Status::InvalidArgument("empty corpus");
+
+  const TrainPlan plan = MakePlan(freq, total_tokens, options_);
+  InitWeights(vocab_size, dim, rng, &node_, &context_);
+
+  const size_t threads = ResolveThreads(options_.threads);
+  if (options_.deterministic) {
+    return TrainDeterministic(options_, corpus, plan, threads, rng, &node_,
+                              &context_);
+  }
+
+  // Global position in the learning-rate schedule, batched from per-token to
+  // per-sentence: one relaxed fetch_add covers a sentence's kept tokens, and
+  // each position derives its step from the returned base — the sequential
+  // path sees exactly the per-token step values of the legacy trainer.
+  std::atomic<size_t> steps{0};
+
+  if (threads <= 1) {
+    // Sequential update order: bit-identical to TrainLegacy (pinned in
+    // tests/word2vec_test.cc).
+    std::vector<double> grad(dim);
+    std::vector<uint32_t> kept;
+    std::vector<uint32_t> negs;
+    for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      for (size_t s = 0; s < corpus.size(); ++s) {
+        TrainSentenceFast(options_, plan, corpus[s], rng, &steps, &node_,
+                          &context_, &grad, &kept, &negs);
+      }
+    }
+    return Status::OK();
+  }
+
+  // Hogwild: shard sentences across the pool with a per-shard RNG stream.
+  // The stream layout (base seed, epoch, shard) is thread-count invariant,
+  // but the unsynchronized weight updates are not — see Word2VecOptions.
+  const uint64_t base_seed = rng->Next();
+  const size_t shards = (corpus.size() + kSentenceGrain - 1) / kSentenceGrain;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    ParallelFor(threads, 0, corpus.size(), kSentenceGrain,
+                [&](size_t b, size_t e) {
+                  const size_t shard = b / kSentenceGrain;
+                  Rng shard_rng = StreamRng(base_seed, rngdomain::kWord2Vec,
+                                            epoch * shards + shard);
+                  std::vector<double> grad(dim);
+                  std::vector<uint32_t> kept;
+                  std::vector<uint32_t> negs;
+                  for (size_t s = b; s < e; ++s) {
+                    TrainSentenceFast(options_, plan, corpus[s], &shard_rng,
+                                      &steps, &node_, &context_, &grad, &kept,
+                                      &negs);
+                  }
+                });
+  }
+  return Status::OK();
+}
+
+Status Word2Vec::TrainLegacy(const std::vector<std::vector<uint32_t>>& corpus,
+                             size_t vocab_size, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
+  if (vocab_size == 0) return Status::InvalidArgument("empty vocabulary");
+  const size_t dim = options_.dim;
+
   std::vector<double> freq(vocab_size, 0.0);
   size_t total_tokens = 0;
   for (const auto& sentence : corpus) {
@@ -61,47 +483,24 @@ Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
   }
   if (total_tokens == 0) return Status::InvalidArgument("empty corpus");
 
-  std::vector<double> noise(vocab_size);
-  for (size_t i = 0; i < vocab_size; ++i) {
-    noise[i] = std::pow(freq[i], options_.unigram_power);
-  }
-  const AliasTable negative_sampler(noise);
+  const TrainPlan plan = MakePlan(freq, total_tokens, options_);
+  InitWeights(vocab_size, dim, rng, &node_, &context_);
 
-  // Subsampling keep-probability per token (word2vec formula).
-  std::vector<double> keep(vocab_size, 1.0);
-  if (options_.subsample > 0) {
-    for (size_t i = 0; i < vocab_size; ++i) {
-      if (freq[i] <= 0) continue;
-      const double f = freq[i] / static_cast<double>(total_tokens);
-      keep[i] = std::min(
-          1.0, std::sqrt(options_.subsample / f) + options_.subsample / f);
-    }
-  }
-
-  node_ = Matrix(vocab_size, dim);
-  context_ = Matrix(vocab_size, dim);
-  for (size_t i = 0; i < vocab_size; ++i) {
-    for (size_t j = 0; j < dim; ++j) {
-      node_(i, j) = (rng->Uniform() - 0.5) / static_cast<double>(dim);
-    }
-  }
-
-  const size_t total_steps =
-      std::max<size_t>(1, options_.epochs * total_tokens);
+  const size_t total_steps = plan.total_steps;
   // Global position in the learning-rate schedule. Hogwild workers bump it
   // with relaxed atomics; in the sequential path it is effectively a plain
   // counter.
   std::atomic<size_t> steps{0};
 
-  // Skip-gram SGD over one sentence. Shared by the sequential and Hogwild
-  // paths; in the latter, reads/writes of node_/context_ rows are
-  // intentionally unsynchronized (sparse updates collide rarely).
+  // Scalar skip-gram SGD over one sentence: the pre-fast-path reference.
   auto train_sentence = [&](const std::vector<uint32_t>& sentence, Rng* r,
                             std::vector<double>* grad,
                             std::vector<uint32_t>* kept) {
     kept->clear();
     for (const uint32_t t : sentence) {
-      if (keep[t] >= 1.0 || r->Uniform() < keep[t]) kept->push_back(t);
+      if (plan.keep[t] >= 1.0 || r->Uniform() < plan.keep[t]) {
+        kept->push_back(t);
+      }
     }
     for (size_t pos = 0; pos < kept->size(); ++pos) {
       const size_t step = steps.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -109,7 +508,6 @@ Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
           options_.learning_rate *
           std::max(1e-4, 1.0 - static_cast<double>(step) /
                                    static_cast<double>(total_steps));
-      // Dynamic window shrink, as in the reference implementation.
       const size_t shrink = r->UniformInt(options_.window) + 1;
       const size_t begin = pos >= shrink ? pos - shrink : 0;
       const size_t end = std::min(kept->size(), pos + shrink + 1);
@@ -119,7 +517,6 @@ Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
         if (cpos == pos) continue;
         const uint32_t ctx = (*kept)[cpos];
         std::fill(grad->begin(), grad->end(), 0.0);
-        // Positive pair + `negative` sampled negatives.
         for (size_t k = 0; k <= options_.negative; ++k) {
           uint32_t target;
           double label;
@@ -127,7 +524,7 @@ Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
             target = ctx;
             label = 1.0;
           } else {
-            target = negative_sampler.Sample(r);
+            target = plan.negatives.Sample(r);
             if (target == ctx) continue;
             label = 0.0;
           }
@@ -147,7 +544,7 @@ Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
 
   const size_t threads = ResolveThreads(options_.threads);
   if (threads <= 1 || options_.deterministic) {
-    // Sequential update order: bit-identical at any requested thread count.
+    // Legacy semantics: deterministic forces the sequential update order.
     std::vector<double> grad(dim);
     std::vector<uint32_t> kept;
     for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
@@ -158,9 +555,6 @@ Status Word2Vec::Train(const std::vector<std::vector<uint32_t>>& corpus,
     return Status::OK();
   }
 
-  // Hogwild: shard sentences across the pool with a per-shard RNG stream.
-  // The stream layout (base seed, epoch, shard) is thread-count invariant,
-  // but the unsynchronized weight updates are not — see Word2VecOptions.
   const uint64_t base_seed = rng->Next();
   const size_t shards = (corpus.size() + kSentenceGrain - 1) / kSentenceGrain;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "embed/corpus.h"
 #include "la/matrix.h"
 
 namespace leva {
@@ -32,9 +33,16 @@ struct Word2VecOptions {
   /// training, but the floating-point result depends on interleaving and is
   /// NOT reproducible run-to-run.
   size_t threads = 1;
-  /// Forces the sequential update order even when `threads > 1`, trading the
-  /// Hogwild speedup for bit-identical results at any thread count. The
-  /// pipeline determinism suite exercises this mode.
+  /// Reproducible parallel training: sentence shards compute their updates
+  /// against the weights frozen at the start of a fixed-size sentence round,
+  /// each shard applying its own updates to private row copies, and the
+  /// per-shard weight deltas are merged into the shared matrices in fixed
+  /// sentence-shard order at the round barrier. The output is a pure
+  /// function of the seed at ANY thread count (pinned 1/2/4/8 in tests) —
+  /// this mode is no longer forced onto the sequential path. Note the result
+  /// differs from `threads == 1, deterministic == false` (which follows the
+  /// exact classic SGD order): determinism here means thread-count
+  /// invariance, not sequential equivalence.
   bool deterministic = false;
 };
 
@@ -42,9 +50,21 @@ class Word2Vec {
  public:
   explicit Word2Vec(Word2VecOptions options = {}) : options_(options) {}
 
-  /// Trains on `corpus`; token ids must be < vocab_size.
+  /// Trains on `corpus`; token ids must be < vocab_size. Dispatches to the
+  /// sequential fast path (threads <= 1; bit-identical to TrainLegacy), the
+  /// deterministic-parallel merge path (options.deterministic), or Hogwild.
+  Status Train(const FlatCorpus& corpus, size_t vocab_size, Rng* rng);
+
+  /// Convenience: flattens a nested corpus and trains on it.
   Status Train(const std::vector<std::vector<uint32_t>>& corpus,
                size_t vocab_size, Rng* rng);
+
+  /// Reference trainer (pre-fast-path): scalar inner loops, per-pair
+  /// gradient-buffer fill, per-token learning-rate step. Kept compiled as
+  /// the differential baseline — the sequential fast path is pinned
+  /// bit-identical to it in tests/word2vec_test.cc.
+  Status TrainLegacy(const std::vector<std::vector<uint32_t>>& corpus,
+                     size_t vocab_size, Rng* rng);
 
   /// Input ("node") vectors, vocab_size x dim.
   const Matrix& node_vectors() const { return node_; }

@@ -127,7 +127,8 @@ TEST(WalksTest, WalksStayInGraph) {
   Rng rng(2);
   const auto corpus = generator.Generate(&rng);
   ASSERT_TRUE(corpus.ok());
-  for (const auto& walk : *corpus) {
+  for (size_t w = 0; w < corpus->size(); ++w) {
+    const auto walk = (*corpus)[w];
     EXPECT_LE(walk.size(), options.walk_length);
     for (const NodeId n : walk) EXPECT_LT(n, g.NumNodes());
     // Consecutive nodes must be neighbors.
@@ -151,7 +152,8 @@ TEST(WalksTest, DeterministicGivenSeed) {
   ASSERT_TRUE(c1.ok());
   ASSERT_TRUE(c2.ok());
   ASSERT_EQ(c1->size(), c2->size());
-  for (size_t i = 0; i < c1->size(); ++i) EXPECT_EQ((*c1)[i], (*c2)[i]);
+  EXPECT_EQ(c1->tokens(), c2->tokens());
+  EXPECT_EQ(c1->offsets(), c2->offsets());
 }
 
 TEST(WalksTest, VisitLimitSuppressesHotNodes) {
@@ -165,9 +167,7 @@ TEST(WalksTest, VisitLimitSuppressesHotNodes) {
   const auto corpus = generator.Generate(&rng);
   ASSERT_TRUE(corpus.ok());
   std::vector<size_t> emitted(g.NumNodes(), 0);
-  for (const auto& walk : *corpus) {
-    for (const NodeId n : walk) ++emitted[n];
-  }
+  for (const NodeId n : corpus->tokens()) ++emitted[n];
   for (const size_t count : emitted) EXPECT_LE(count, 10u);
 }
 
@@ -227,9 +227,10 @@ TEST(WalksTest, Node2VecBiasChangesWalks) {
   ASSERT_TRUE(c1.ok());
   ASSERT_TRUE(c2.ok());
   // Count immediate backtracks u -> v -> u; p > 1 should reduce them.
-  auto backtracks = [](const WalkCorpus& c) {
+  auto backtracks = [](const FlatCorpus& c) {
     size_t n = 0;
-    for (const auto& walk : c) {
+    for (size_t w = 0; w < c.size(); ++w) {
+      const auto walk = c[w];
       for (size_t i = 2; i < walk.size(); ++i) {
         if (walk[i] == walk[i - 2]) ++n;
       }
@@ -276,10 +277,10 @@ TEST(Word2VecTest, TrainsAndEmbedsCooccurringTokens) {
 TEST(Word2VecTest, RejectsBadInput) {
   Rng rng(7);
   Word2Vec model;
-  EXPECT_FALSE(model.Train({}, 0, &rng).ok());
-  EXPECT_FALSE(model.Train({{5}}, 3, &rng).ok());  // id out of range
-  EXPECT_FALSE(model.Train({{}}, 3, &rng).ok());   // empty corpus
-  EXPECT_FALSE(model.Train({{0}}, 3, nullptr).ok());
+  EXPECT_FALSE(model.Train(FlatCorpus(), 0, &rng).ok());
+  EXPECT_FALSE(model.Train(WalkCorpus{{5}}, 3, &rng).ok());  // id out of range
+  EXPECT_FALSE(model.Train(WalkCorpus{{}}, 3, &rng).ok());   // empty corpus
+  EXPECT_FALSE(model.Train(WalkCorpus{{0}}, 3, nullptr).ok());
 }
 
 TEST(MfTest, ProximityMatrixOnlyOnEdges) {

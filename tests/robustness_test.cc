@@ -196,7 +196,7 @@ TEST(RobustnessTest, IsolatedNodeWalksTerminate) {
   Rng rng(1);
   const auto corpus = generator.Generate(&rng);
   ASSERT_TRUE(corpus.ok());
-  for (const auto& walk : *corpus) EXPECT_EQ(walk.size(), 1u);
+  for (size_t w = 0; w < corpus->size(); ++w) EXPECT_EQ((*corpus)[w].size(), 1u);
 }
 
 TEST(RobustnessTest, MalformedEmbeddingTextRejected) {

@@ -1,0 +1,273 @@
+// Differential and determinism suites for the embedding-training fast path:
+// the sequential fast trainer is pinned bit-identical to TrainLegacy, the
+// deterministic-parallel merge trainer is pinned thread-count invariant, and
+// flat walk-corpus generation is pinned equivalent to the legacy nested
+// generator. These tests carry the `determinism` ctest label and are run
+// under TSan (LEVA_SANITIZE=thread) to keep the parallel paths race-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/corpus.h"
+#include "embed/walks.h"
+#include "embed/word2vec.h"
+#include "graph/graph.h"
+
+namespace leva {
+namespace {
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.data().size(), b.data().size());
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(double)),
+            0);
+}
+
+// Random corpus with a skewed unigram distribution so frequent-token
+// subsampling actually draws from the RNG (keep probability < 1 for the
+// head tokens).
+std::vector<std::vector<uint32_t>> RandomCorpus(size_t sentences,
+                                                size_t max_len, uint32_t vocab,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> corpus(sentences);
+  for (auto& sentence : corpus) {
+    const size_t len = 2 + rng.UniformInt(max_len - 1);
+    sentence.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      // min of two uniforms skews mass toward small token ids.
+      const uint32_t a = static_cast<uint32_t>(rng.UniformInt(vocab));
+      const uint32_t b = static_cast<uint32_t>(rng.UniformInt(vocab));
+      sentence.push_back(std::min(a, b));
+    }
+  }
+  return corpus;
+}
+
+TEST(FlatCorpusTest, BuildAndIndex) {
+  FlatCorpus c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.num_tokens(), 0u);
+  c.PushToken(3);
+  c.PushToken(1);
+  EXPECT_TRUE(c.EndSentence());
+  EXPECT_FALSE(c.EndSentence());  // nothing pushed: dropped
+  const std::vector<uint32_t> one = {7};
+  c.AppendSentence(one);
+  c.AppendSentence({});  // empty: dropped
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.num_tokens(), 3u);
+  ASSERT_EQ(c[0].size(), 2u);
+  EXPECT_EQ(c[0][0], 3u);
+  EXPECT_EQ(c[0][1], 1u);
+  ASSERT_EQ(c[1].size(), 1u);
+  EXPECT_EQ(c[1][0], 7u);
+  EXPECT_EQ(c.offsets().front(), 0u);
+  EXPECT_EQ(c.offsets().back(), c.num_tokens());
+}
+
+TEST(FlatCorpusTest, FlattenMatchesNested) {
+  const std::vector<std::vector<uint32_t>> nested = {{1, 2, 3}, {}, {4}};
+  const FlatCorpus flat = Flatten(nested);
+  ASSERT_EQ(flat.size(), 2u);  // empty sentence dropped
+  EXPECT_EQ(flat.tokens(), (std::vector<uint32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(flat.offsets(), (std::vector<size_t>{0, 3, 4}));
+}
+
+// The sequential fast path (SIMD kernels, batched lr counter, reused
+// gradient buffer) must reproduce the reference trainer bit-for-bit.
+TEST(Word2VecTest, SequentialFastMatchesLegacyBitwise) {
+  const auto nested = RandomCorpus(300, 12, 50, 42);
+  const FlatCorpus flat = Flatten(nested);
+
+  Word2VecOptions options;
+  options.dim = 24;
+  options.window = 3;
+  options.negative = 4;
+  options.epochs = 2;
+  options.threads = 1;
+
+  Word2Vec fast(options);
+  Word2Vec legacy(options);
+  Rng r1(99);
+  Rng r2(99);
+  ASSERT_TRUE(fast.Train(flat, 50, &r1).ok());
+  ASSERT_TRUE(legacy.TrainLegacy(nested, 50, &r2).ok());
+  ExpectBitIdentical(fast.node_vectors(), legacy.node_vectors());
+  ExpectBitIdentical(fast.context_vectors(), legacy.context_vectors());
+}
+
+// The nested-corpus Train overload is a flatten-then-train shim.
+TEST(Word2VecTest, NestedOverloadMatchesFlat) {
+  const auto nested = RandomCorpus(100, 8, 30, 5);
+  Word2VecOptions options;
+  options.dim = 8;
+  options.epochs = 1;
+  Word2Vec a(options);
+  Word2Vec b(options);
+  Rng r1(17);
+  Rng r2(17);
+  ASSERT_TRUE(a.Train(nested, 30, &r1).ok());
+  ASSERT_TRUE(b.Train(Flatten(nested), 30, &r2).ok());
+  ExpectBitIdentical(a.node_vectors(), b.node_vectors());
+}
+
+// Deterministic-parallel training is a pure function of the seed at any
+// thread count. 9000 sentences is enough for full-width (16-shard) merge
+// rounds with several round barriers per epoch, and 2 epochs cover the
+// epoch loop.
+TEST(Word2VecTest, DeterministicParallelThreadInvariance) {
+  const FlatCorpus flat = Flatten(RandomCorpus(9000, 8, 80, 7));
+
+  Word2VecOptions options;
+  options.dim = 12;
+  options.window = 3;
+  options.negative = 3;
+  options.epochs = 2;
+  options.deterministic = true;
+
+  Matrix reference_node;
+  Matrix reference_ctx;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    Word2VecOptions o = options;
+    o.threads = threads;
+    Word2Vec model(o);
+    Rng rng(123);
+    ASSERT_TRUE(model.Train(flat, 80, &rng).ok());
+    if (threads == 1) {
+      reference_node = model.node_vectors();
+      reference_ctx = model.context_vectors();
+    } else {
+      ExpectBitIdentical(model.node_vectors(), reference_node);
+      ExpectBitIdentical(model.context_vectors(), reference_ctx);
+    }
+  }
+}
+
+double Cosine(const Matrix& vecs, size_t a, size_t b) {
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (size_t j = 0; j < vecs.cols(); ++j) {
+    dot += vecs(a, j) * vecs(b, j);
+    na += vecs(a, j) * vecs(a, j);
+    nb += vecs(b, j) * vecs(b, j);
+  }
+  return dot / std::sqrt(na * nb);
+}
+
+// Two-cluster corpus: tokens 0/1 always co-occur and 2/3 always co-occur.
+std::vector<std::vector<uint32_t>> ClusterCorpus(size_t sentences) {
+  std::vector<std::vector<uint32_t>> corpus;
+  corpus.reserve(sentences);
+  for (size_t i = 0; i < sentences; ++i) {
+    if (i % 2 == 0) {
+      corpus.push_back({0, 1, 0, 1, 0, 1});
+    } else {
+      corpus.push_back({2, 3, 2, 3, 2, 3});
+    }
+  }
+  return corpus;
+}
+
+// Hogwild training is not bit-reproducible, but its statistical quality must
+// hold: co-occurring tokens end up far more similar than cross-cluster ones.
+// Subsampling is off — with a 4-token vocab every token is "frequent" and
+// the subsampler would (correctly) discard ~93% of the corpus.
+TEST(Word2VecTest, HogwildQualityFloor) {
+  const FlatCorpus flat = Flatten(ClusterCorpus(400));
+  Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 4;
+  options.threads = 4;
+  options.subsample = 0;
+  Word2Vec model(options);
+  Rng rng(31);
+  ASSERT_TRUE(model.Train(flat, 4, &rng).ok());
+  const Matrix& vecs = model.node_vectors();
+  EXPECT_GT(Cosine(vecs, 0, 1), 0.5);
+  EXPECT_GT(Cosine(vecs, 2, 3), 0.5);
+  EXPECT_GT(Cosine(vecs, 0, 1), Cosine(vecs, 0, 2));
+  EXPECT_GT(Cosine(vecs, 2, 3), Cosine(vecs, 1, 3));
+}
+
+// The deterministic merge path must match that quality floor too — frozen
+// round-start weights may slow convergence but must not break it.
+TEST(Word2VecTest, DeterministicParallelQualityFloor) {
+  const FlatCorpus flat = Flatten(ClusterCorpus(400));
+  Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 4;
+  options.threads = 4;
+  options.subsample = 0;
+  options.deterministic = true;
+  Word2Vec model(options);
+  Rng rng(31);
+  ASSERT_TRUE(model.Train(flat, 4, &rng).ok());
+  const Matrix& vecs = model.node_vectors();
+  EXPECT_GT(Cosine(vecs, 0, 1), 0.5);
+  EXPECT_GT(Cosine(vecs, 2, 3), 0.5);
+  EXPECT_GT(Cosine(vecs, 0, 1), Cosine(vecs, 0, 2));
+  EXPECT_GT(Cosine(vecs, 2, 3), Cosine(vecs, 1, 3));
+}
+
+LevaGraph WalkGraph() {
+  TextifiedTable t;
+  t.table_name = "t";
+  t.rows = {
+      {{0, "a"}},
+      {{0, "a"}, {1, "b"}},
+      {{1, "b"}, {2, "c"}},
+      {{2, "c"}, {0, "a"}},
+      {{0, "a"}, {1, "b"}, {2, "c"}},
+  };
+  auto g = BuildGraph({t}, 3);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+// Generate (flat) and GenerateNested (legacy) consume identical RNG streams,
+// so for the same seed they must emit identical walks, sentence by sentence —
+// across plain, visit-limited, balanced-restart, and weighted configs.
+TEST(WalksTest, FlatGenerationMatchesNested) {
+  const LevaGraph g = WalkGraph();
+  WalkOptions base;
+  base.epochs = 5;
+  base.walk_length = 15;
+
+  WalkOptions limited = base;
+  limited.visit_limit = 12;
+  WalkOptions balanced = base;
+  balanced.balanced_restarts = true;
+  balanced.restart_epochs = 2;
+  WalkOptions weighted = base;
+  weighted.weighted = true;
+
+  for (const WalkOptions& options : {base, limited, balanced, weighted}) {
+    WalkGenerator flat_gen(&g, options);
+    WalkGenerator nested_gen(&g, options);
+    Rng r1(2024);
+    Rng r2(2024);
+    const auto flat = flat_gen.Generate(&r1);
+    const auto nested = nested_gen.GenerateNested(&r2);
+    ASSERT_TRUE(flat.ok());
+    ASSERT_TRUE(nested.ok());
+    ASSERT_EQ(flat->size(), nested->size());
+    for (size_t i = 0; i < flat->size(); ++i) {
+      const auto walk = (*flat)[i];
+      ASSERT_EQ(walk.size(), (*nested)[i].size()) << "walk " << i;
+      EXPECT_TRUE(std::equal(walk.begin(), walk.end(), (*nested)[i].begin()))
+          << "walk " << i;
+    }
+    EXPECT_EQ(flat_gen.visit_counts(), nested_gen.visit_counts());
+  }
+}
+
+}  // namespace
+}  // namespace leva
