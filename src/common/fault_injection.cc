@@ -1,0 +1,100 @@
+#include "common/fault_injection.h"
+
+#include <utility>
+
+namespace leva {
+namespace {
+
+Status InjectedError(const char* what) {
+  return Status::IOError(std::string("injected fault: ") + what);
+}
+
+}  // namespace
+
+/// Wraps the real file so Append/Sync/Close consult the env's fault plan.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(std::unique_ptr<WritableFile> base,
+                             FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(std::string_view data) override {
+    if (env_->ShouldFail(FaultInjectionEnv::OpKind::kAppend)) {
+      if (env_->append_fault_ == FaultInjectionEnv::AppendFault::kTornWrite) {
+        // A torn write: the kernel persisted a prefix of the buffer before
+        // the "crash". Half the bytes land, then the failure surfaces.
+        (void)base_->Append(data.substr(0, data.size() / 2));
+      }
+      return InjectedError("write");
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    if (env_->ShouldFail(FaultInjectionEnv::OpKind::kSync)) {
+      return InjectedError("fsync");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    if (env_->ShouldFail(FaultInjectionEnv::OpKind::kClose)) {
+      return InjectedError("close");
+    }
+    return base_->Close();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+bool FaultInjectionEnv::ShouldFail(OpKind kind) {
+  if (crashed_) return true;
+  const size_t k = static_cast<size_t>(kind);
+  ++ops_[k];
+  if (fail_at_[k] != 0 && ops_[k] == fail_at_[k]) {
+    crashed_ = true;
+    return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  if (crashed_) return InjectedError("open after crash");
+  LEVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                        base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectionWritableFile(std::move(base), this));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (ShouldFail(OpKind::kRename)) return InjectedError("rename");
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  // Cleanup of an abandoned temp file is best-effort in the protocol and a
+  // crashed process cannot run it; model that by failing after a crash but
+  // not counting deletes as an injectable step of their own.
+  if (crashed_) return InjectedError("unlink after crash");
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  if (ShouldFail(OpKind::kSyncDir)) return InjectedError("fsync directory");
+  return base_->SyncDir(path);
+}
+
+}  // namespace leva

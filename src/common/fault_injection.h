@@ -1,0 +1,91 @@
+#ifndef LEVA_COMMON_FAULT_INJECTION_H_
+#define LEVA_COMMON_FAULT_INJECTION_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/io.h"
+
+namespace leva {
+
+/// An Env wrapper that injects failures into the snapshot I/O path, in the
+/// style of RocksDB's FaultInjectionTestEnv. Tests use it to prove the
+/// atomic-write protocol crash-safe: arm it to fail the Nth operation of a
+/// given kind, run a save, and check that the previous snapshot is still
+/// loadable (or the new one is rejected at load) — never a torn artifact.
+///
+/// Once an injected fault fires, the env enters a "crashed" state: every
+/// further mutating operation fails too, modeling a process that died at
+/// that instant (a real crash never gets to run the remaining steps).
+/// Reads always pass through, so a test can immediately "restart" and load.
+class FaultInjectionEnv : public Env {
+ public:
+  enum class OpKind : size_t {
+    kAppend = 0,  ///< WritableFile::Append
+    kSync,        ///< WritableFile::Sync
+    kClose,       ///< WritableFile::Close
+    kRename,      ///< Env::RenameFile
+    kSyncDir,     ///< Env::SyncDir
+  };
+  static constexpr size_t kNumOpKinds = 5;
+
+  /// How an armed Append fault manifests.
+  enum class AppendFault {
+    kFailCleanly,  ///< no bytes of the failing Append reach the file
+    kTornWrite,    ///< the first half of the failing Append's bytes land
+  };
+
+  /// `base` is not owned and must outlive this env. Defaults to the real
+  /// filesystem.
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  /// Arms the env: the `nth` (1-based) operation of `kind` fails with
+  /// kIOError and crashes the env. Passing `nth` larger than the number of
+  /// operations a workload performs simply never fires.
+  void FailAtOp(OpKind kind, size_t nth) {
+    fail_at_[static_cast<size_t>(kind)] = nth;
+  }
+
+  void set_append_fault(AppendFault mode) { append_fault_ = mode; }
+
+  /// Operations of `kind` observed so far (including failed ones). Run a
+  /// workload against an unarmed env first to learn how many fault points
+  /// it has, then iterate FailAtOp over 1..ops(kind).
+  size_t ops(OpKind kind) const { return ops_[static_cast<size_t>(kind)]; }
+
+  bool crashed() const { return crashed_; }
+
+  /// Disarms every fault and clears the crashed state (counters persist).
+  void Heal() {
+    crashed_ = false;
+    fail_at_.fill(0);
+  }
+
+  // Env interface.
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  // Accounts one operation of `kind`; returns true when it must fail (and
+  // flips the env into the crashed state).
+  bool ShouldFail(OpKind kind);
+
+  Env* base_;
+  std::array<size_t, kNumOpKinds> ops_ = {};
+  std::array<size_t, kNumOpKinds> fail_at_ = {};  // 0 = disarmed
+  AppendFault append_fault_ = AppendFault::kFailCleanly;
+  bool crashed_ = false;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_COMMON_FAULT_INJECTION_H_

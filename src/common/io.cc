@@ -1,0 +1,211 @@
+#include "common/io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace leva {
+namespace {
+
+// --- CRC32C (Castagnoli, poly 0x82F63B78), slice-by-8 ------------------------
+
+struct Crc32cTables {
+  uint32_t t[8][256];
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0x82F63B78u : 0);
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + strerror(errno);
+}
+
+// --- POSIX Env ---------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write to", path_));
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError(ErrnoMessage("close", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for writing", path));
+    }
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open", path));
+    }
+    std::string out;
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      out.reserve(static_cast<size_t>(st.st_size));
+    }
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof buf);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        const Status s = Status::IOError(ErrnoMessage("read", path));
+        ::close(fd);
+        return s;
+      }
+      if (r == 0) break;
+      out.append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename '" + from + "' -> '" + to +
+                             "': " + strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.empty() ? "." : path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open directory", path));
+    }
+    // Some filesystems refuse fsync on directories (EINVAL); the rename is
+    // then as durable as that filesystem can make it.
+    if (::fsync(fd) != 0 && errno != EINVAL) {
+      const Status s = Status::IOError(ErrnoMessage("fsync directory", path));
+      ::close(fd);
+      return s;
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+};
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto& t = Tables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  while (n >= 8) {
+    uint64_t v;
+    memcpy(&v, p, 8);
+    v ^= crc;  // low 4 bytes fold in the running crc (little-endian)
+    crc = t.t[7][v & 0xFF] ^ t.t[6][(v >> 8) & 0xFF] ^ t.t[5][(v >> 16) & 0xFF] ^
+          t.t[4][(v >> 24) & 0xFF] ^ t.t[3][(v >> 32) & 0xFF] ^
+          t.t[2][(v >> 40) & 0xFF] ^ t.t[1][(v >> 48) & 0xFF] ^
+          t.t[0][(v >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ t.t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  LEVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(tmp));
+  Status s = file->Append(contents);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) {
+    // Leave no half-written temp file behind; the target is untouched.
+    (void)env->DeleteFile(tmp);
+    return s;
+  }
+  LEVA_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  return env->SyncDir(ParentDir(path));
+}
+
+}  // namespace leva

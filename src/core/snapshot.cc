@@ -1,0 +1,367 @@
+// Versioned, checksummed snapshots of a fitted LevaPipeline.
+//
+// File layout (all integers little-endian, see common/io.h):
+//
+//   [8]  magic "LEVASNP1"
+//   [4]  u32 format version
+//   [4]  u32 config hash        crc32c of the "config" section payload
+//   [4]  u32 section count
+//   per section:
+//        string  name           (u64 length + bytes)
+//        u64     payload length
+//        u32     payload crc32c
+//        [...]   payload
+//   [4]  u32 file crc32c        over every byte above
+//
+// The trailing file CRC catches truncation and bit flips anywhere; the
+// per-section CRCs additionally localize which component is damaged, and the
+// header's config hash ties the manifest to the exact configuration the
+// artifact was fitted under. Unknown *extra* sections are ignored on load so
+// version N readers accept version N writers that learned new optional
+// sections without a format break; missing required sections are an error.
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/io.h"
+#include "common/parallel.h"
+#include "core/pipeline.h"
+
+namespace leva {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'E', 'V', 'A', 'S', 'N', 'P', '1'};
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 3 * sizeof(uint32_t);
+
+void SaveConfig(const LevaConfig& c, BufferWriter* out) {
+  out->PutU64(c.textify.bin_count);
+  out->PutBool(c.textify.force_histogram_type);
+  out->PutU8(static_cast<uint8_t>(c.textify.forced_type));
+  out->PutDouble(c.textify.key_distinct_ratio);
+  out->PutDouble(c.textify.list_detect_ratio);
+
+  out->PutDouble(c.graph.theta_range);
+  out->PutDouble(c.graph.theta_min);
+  out->PutBool(c.graph.weighted);
+
+  out->PutU8(static_cast<uint8_t>(c.method));
+  out->PutU64(c.embedding_dim);
+  out->PutU8(static_cast<uint8_t>(c.featurization));
+  out->PutU64(c.memory_budget_bytes);
+
+  out->PutU64(c.walks.walk_length);
+  out->PutU64(c.walks.epochs);
+  out->PutBool(c.walks.weighted);
+  out->PutBool(c.walks.balanced_restarts);
+  out->PutU64(c.walks.restart_epochs);
+  out->PutU64(c.walks.visit_limit);
+  out->PutDouble(c.walks.p);
+  out->PutDouble(c.walks.q);
+  out->PutU64(c.walks.threads);
+
+  out->PutU64(c.word2vec.dim);
+  out->PutU64(c.word2vec.window);
+  out->PutU64(c.word2vec.negative);
+  out->PutDouble(c.word2vec.subsample);
+  out->PutDouble(c.word2vec.learning_rate);
+  out->PutU64(c.word2vec.epochs);
+  out->PutDouble(c.word2vec.unigram_power);
+  out->PutU64(c.word2vec.threads);
+  out->PutBool(c.word2vec.deterministic);
+
+  out->PutU64(c.mf.dim);
+  out->PutU64(c.mf.oversample);
+  out->PutU64(c.mf.power_iterations);
+  out->PutDouble(c.mf.tau);
+  out->PutU64(c.mf.window);
+  out->PutU64(c.mf.max_row_entries);
+  out->PutBool(c.mf.spectral_propagation);
+  out->PutU64(c.mf.chebyshev_order);
+  out->PutDouble(c.mf.mu);
+  out->PutDouble(c.mf.theta);
+  out->PutU64(c.mf.threads);
+
+  out->PutU64(c.line.dim);
+  out->PutU64(c.line.negative);
+  out->PutU64(c.line.samples_per_edge);
+  out->PutDouble(c.line.learning_rate);
+  out->PutDouble(c.line.unigram_power);
+
+  out->PutU64(c.seed);
+  out->PutU64(c.threads);
+  out->PutU64(c.featurize_batch_size);
+}
+
+Status CheckEnum(uint8_t v, uint8_t max, const char* what) {
+  if (v > max) {
+    return Status::InvalidArgument(std::string("corrupt config: bad ") + what +
+                                   " " + std::to_string(v));
+  }
+  return Status::OK();
+}
+
+Status LoadConfig(BufferReader* in, LevaConfig* c) {
+  uint8_t u8 = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->textify.bin_count));
+  LEVA_RETURN_IF_ERROR(in->GetBool(&c->textify.force_histogram_type));
+  LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+  LEVA_RETURN_IF_ERROR(
+      CheckEnum(u8, static_cast<uint8_t>(HistogramType::kEquiDepth),
+                "histogram type"));
+  c->textify.forced_type = static_cast<HistogramType>(u8);
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->textify.key_distinct_ratio));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->textify.list_detect_ratio));
+
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->graph.theta_range));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->graph.theta_min));
+  LEVA_RETURN_IF_ERROR(in->GetBool(&c->graph.weighted));
+
+  LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+  LEVA_RETURN_IF_ERROR(
+      CheckEnum(u8, static_cast<uint8_t>(EmbeddingMethod::kLine), "method"));
+  c->method = static_cast<EmbeddingMethod>(u8);
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->embedding_dim));
+  LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+  LEVA_RETURN_IF_ERROR(CheckEnum(
+      u8, static_cast<uint8_t>(Featurization::kRowPlusValue), "featurization"));
+  c->featurization = static_cast<Featurization>(u8);
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->memory_budget_bytes));
+
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->walks.walk_length));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->walks.epochs));
+  LEVA_RETURN_IF_ERROR(in->GetBool(&c->walks.weighted));
+  LEVA_RETURN_IF_ERROR(in->GetBool(&c->walks.balanced_restarts));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->walks.restart_epochs));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->walks.visit_limit));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->walks.p));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->walks.q));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->walks.threads));
+
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->word2vec.dim));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->word2vec.window));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->word2vec.negative));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->word2vec.subsample));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->word2vec.learning_rate));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->word2vec.epochs));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->word2vec.unigram_power));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->word2vec.threads));
+  LEVA_RETURN_IF_ERROR(in->GetBool(&c->word2vec.deterministic));
+
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->mf.dim));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->mf.oversample));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->mf.power_iterations));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->mf.tau));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->mf.window));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->mf.max_row_entries));
+  LEVA_RETURN_IF_ERROR(in->GetBool(&c->mf.spectral_propagation));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->mf.chebyshev_order));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->mf.mu));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->mf.theta));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->mf.threads));
+
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->line.dim));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->line.negative));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->line.samples_per_edge));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->line.learning_rate));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&c->line.unigram_power));
+
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->seed));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->threads));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->featurize_batch_size));
+  return Status::OK();
+}
+
+void AppendSection(const std::string& name, const std::string& payload,
+                   BufferWriter* file) {
+  file->PutString(name);
+  file->PutU64(payload.size());
+  file->PutU32(Crc32c(payload));
+  file->PutBytes(payload.data(), payload.size());
+}
+
+}  // namespace
+
+Status LevaPipeline::SaveSnapshot(const std::string& path, Env* env) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "cannot snapshot an unfitted pipeline: call Fit first");
+  }
+  if (env == nullptr) env = Env::Default();
+
+  BufferWriter config;
+  SaveConfig(config_, &config);
+  BufferWriter textifier;
+  textifier_.Save(&textifier);
+  BufferWriter graph;
+  graph_.Save(&graph);
+  BufferWriter embedding;
+  embedding_.Save(&embedding);
+  BufferWriter meta;
+  meta.PutU8(static_cast<uint8_t>(chosen_));
+  // The warm serving cache rides along only when it still belongs to these
+  // stores (it always does on a freshly fitted pipeline; a moved-from or
+  // copied pipeline has a stale one that Featurize would rebuild anyway).
+  BufferWriter resolver;
+  const bool resolver_valid = resolver_cache_.embedding() == &embedding_ &&
+                              resolver_cache_.graph() == &graph_ &&
+                              resolver_cache_.weighted() ==
+                                  config_.graph.weighted;
+  TokenResolver empty(nullptr, nullptr, false);
+  (resolver_valid ? resolver_cache_ : empty).Save(&resolver);
+
+  BufferWriter file;
+  file.PutBytes(kMagic, sizeof(kMagic));
+  file.PutU32(kSnapshotVersion);
+  file.PutU32(Crc32c(config.data()));  // manifest: config hash
+  file.PutU32(6);                      // section count
+  AppendSection("config", config.data(), &file);
+  AppendSection("meta", meta.data(), &file);
+  AppendSection("textifier", textifier.data(), &file);
+  AppendSection("graph", graph.data(), &file);
+  AppendSection("embedding", embedding.data(), &file);
+  // The resolver section is optional on load (a cold cache is functionally
+  // identical) but still CRC-framed like every other section.
+  AppendSection("resolver", resolver.data(), &file);
+  file.PutU32(Crc32c(file.data()));  // file CRC: the genuinely final bytes
+
+  return AtomicWriteFile(env, path, file.data());
+}
+
+Status LevaPipeline::LoadSnapshot(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  LEVA_ASSIGN_OR_RETURN(const std::string bytes, env->ReadFileToString(path));
+
+  if (bytes.size() < kHeaderBytes + sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' is truncated: " +
+        std::to_string(bytes.size()) + " byte(s), need at least " +
+        std::to_string(kHeaderBytes + sizeof(uint32_t)));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a Leva snapshot (bad magic)");
+  }
+  // Whole-file integrity first: any truncation or bit flip anywhere is
+  // caught here before any section is interpreted.
+  uint32_t stored_file_crc = 0;
+  std::memcpy(&stored_file_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t actual_file_crc =
+      Crc32c(bytes.data(), bytes.size() - sizeof(uint32_t));
+  if (stored_file_crc != actual_file_crc) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' failed its file checksum (stored " +
+        std::to_string(stored_file_crc) + ", computed " +
+        std::to_string(actual_file_crc) + "): corrupt or torn write");
+  }
+
+  BufferReader reader(
+      std::string_view(bytes).substr(sizeof(kMagic),
+                                     bytes.size() - sizeof(kMagic) -
+                                         sizeof(uint32_t)));
+  uint32_t version = 0;
+  uint32_t config_hash = 0;
+  uint32_t section_count = 0;
+  LEVA_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kSnapshotVersion));
+  }
+  LEVA_RETURN_IF_ERROR(reader.GetU32(&config_hash));
+  LEVA_RETURN_IF_ERROR(reader.GetU32(&section_count));
+
+  std::unordered_map<std::string, std::string_view> sections;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    std::string name;
+    uint64_t len = 0;
+    uint32_t crc = 0;
+    LEVA_RETURN_IF_ERROR(reader.GetString(&name));
+    LEVA_RETURN_IF_ERROR(reader.GetU64(&len));
+    LEVA_RETURN_IF_ERROR(reader.GetU32(&crc));
+    std::string_view payload;
+    LEVA_RETURN_IF_ERROR(reader.GetBytes(len, &payload));
+    if (Crc32c(payload) != crc) {
+      return Status::InvalidArgument("snapshot '" + path + "' section '" +
+                                     name + "' failed its checksum");
+    }
+    sections.emplace(std::move(name), payload);
+  }
+
+  const auto section = [&](const char* name) -> Result<std::string_view> {
+    const auto it = sections.find(name);
+    if (it == sections.end()) {
+      return Status::InvalidArgument("snapshot '" + path +
+                                     "' is missing required section '" +
+                                     std::string(name) + "'");
+    }
+    return it->second;
+  };
+
+  // Parse and validate everything into locals; this pipeline's state is
+  // only replaced after the whole snapshot proves coherent.
+  LEVA_ASSIGN_OR_RETURN(std::string_view config_bytes, section("config"));
+  if (Crc32c(config_bytes) != config_hash) {
+    return Status::InvalidArgument(
+        "snapshot '" + path +
+        "' config hash does not match its manifest header");
+  }
+  LevaConfig config;
+  {
+    BufferReader in(config_bytes);
+    LEVA_RETURN_IF_ERROR(LoadConfig(&in, &config));
+  }
+
+  EmbeddingMethod chosen;
+  {
+    LEVA_ASSIGN_OR_RETURN(std::string_view meta_bytes, section("meta"));
+    BufferReader in(meta_bytes);
+    uint8_t u8 = 0;
+    LEVA_RETURN_IF_ERROR(in.GetU8(&u8));
+    LEVA_RETURN_IF_ERROR(CheckEnum(
+        u8, static_cast<uint8_t>(EmbeddingMethod::kLine), "chosen method"));
+    chosen = static_cast<EmbeddingMethod>(u8);
+  }
+
+  Textifier textifier;
+  {
+    LEVA_ASSIGN_OR_RETURN(std::string_view b, section("textifier"));
+    BufferReader in(b);
+    LEVA_RETURN_IF_ERROR(textifier.Load(&in));
+  }
+  LevaGraph graph;
+  {
+    LEVA_ASSIGN_OR_RETURN(std::string_view b, section("graph"));
+    BufferReader in(b);
+    LEVA_RETURN_IF_ERROR(graph.Load(&in));
+  }
+  Embedding embedding;
+  {
+    LEVA_ASSIGN_OR_RETURN(std::string_view b, section("embedding"));
+    BufferReader in(b);
+    LEVA_RETURN_IF_ERROR(embedding.Load(&in));
+  }
+
+  // Everything validated: commit, then rebuild the derived serving state
+  // against the new stores' final addresses.
+  config_ = std::move(config);
+  textifier_ = std::move(textifier);
+  graph_ = std::move(graph);
+  embedding_ = std::move(embedding);
+  chosen_ = chosen;
+  profile_.Clear();
+  profile_.set_threads(ResolveThreads(config_.threads));
+  featurize_stats_ = FeaturizeStats{};
+  feature_names_cache_.clear();
+  resolver_cache_ =
+      TokenResolver(&embedding_, &graph_, config_.graph.weighted);
+  if (const auto it = sections.find("resolver"); it != sections.end()) {
+    BufferReader in(it->second);
+    LEVA_RETURN_IF_ERROR(resolver_cache_.Load(&in));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace leva

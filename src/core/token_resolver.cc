@@ -110,6 +110,28 @@ void TokenResolver::Grow() {
   }
 }
 
+void TokenResolver::Save(BufferWriter* out) const {
+  out->PutU64(keys_.size());
+  for (const std::string& key : keys_) out->PutString(key);
+}
+
+Status TokenResolver::Load(BufferReader* in) {
+  Clear();
+  uint64_t count = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&count));
+  std::string key;
+  for (uint64_t i = 0; i < count; ++i) {
+    LEVA_RETURN_IF_ERROR(in->GetString(&key));
+    // Keys were saved in id order, so re-interning assigns the same ids;
+    // a duplicate would break that bijection.
+    if (Intern(key) != i) {
+      return Status::InvalidArgument("corrupt resolver cache: duplicate key '" +
+                                     key + "'");
+    }
+  }
+  return Status::OK();
+}
+
 void TokenResolver::Clear() {
   slots_.clear();
   keys_.clear();

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/io.h"
 #include "embed/embedding.h"
 #include "graph/graph.h"
 
@@ -64,6 +65,17 @@ class TokenResolver {
   const Embedding* embedding() const { return embedding_; }
   const LevaGraph* graph() const { return graph_; }
   bool weighted() const { return weighted_; }
+
+  /// Serializes the interned keys in id order. Entries are NOT stored: they
+  /// are a pure function of the fitted stores, so Load re-resolves them —
+  /// the snapshot stays valid even across store-layout changes and carries
+  /// no redundant (hence corruptible) derived state.
+  void Save(BufferWriter* out) const;
+
+  /// Clears this resolver and re-interns the keys written by Save against
+  /// the current stores, reproducing identical ids. Counts as store lookups
+  /// in stats() (it performs them).
+  Status Load(BufferReader* in);
 
   /// Forgets every interned token. Stats persist so call totals survive.
   void Clear();

@@ -1,7 +1,11 @@
 #include "embed/embedding.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
+
+#include "common/string_util.h"
 
 namespace leva {
 
@@ -70,11 +74,68 @@ Result<Embedding> Embedding::FromText(const std::string& text) {
     std::string key;
     if (!(in >> key)) return Status::InvalidArgument("truncated embedding");
     for (size_t j = 0; j < dim; ++j) {
-      if (!(in >> vec[j])) return Status::InvalidArgument("truncated vector");
+      // Stream extraction of doubles rejects "nan"/"inf" tokens outright in
+      // libstdc++; route through ParseDouble so they parse and then hit the
+      // finiteness check below with a descriptive error.
+      std::string tok;
+      if (!(in >> tok)) return Status::InvalidArgument("truncated vector");
+      const auto parsed = ParseDouble(tok);
+      if (!parsed) {
+        return Status::InvalidArgument("bad component '" + tok + "' for key '" +
+                                       key + "'");
+      }
+      vec[j] = *parsed;
+      if (!std::isfinite(vec[j])) {
+        return Status::InvalidArgument(
+            "non-finite component " + std::to_string(j) + " for key '" + key +
+            "': embedding vectors must be finite");
+      }
+    }
+    if (e.Has(key)) {
+      return Status::InvalidArgument("duplicate embedding key '" + key + "'");
     }
     LEVA_RETURN_IF_ERROR(e.Put(key, vec));
   }
   return e;
+}
+
+void Embedding::Save(BufferWriter* out) const {
+  out->PutU64(dim_);
+  out->PutU64(keys_.size());
+  for (const std::string& key : keys_) out->PutString(key);
+  out->PutBytes(data_.data(), data_.size() * sizeof(double));
+}
+
+Status Embedding::Load(BufferReader* in) {
+  *this = Embedding();
+  Embedding e;
+  uint64_t dim = 0;
+  uint64_t count = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&dim));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&count));
+  e.dim_ = dim;
+  e.keys_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    LEVA_RETURN_IF_ERROR(in->GetString(&key));
+    if (!e.index_.emplace(key, i).second) {
+      return Status::InvalidArgument("corrupt embedding: duplicate key '" +
+                                     key + "'");
+    }
+    e.keys_.push_back(std::move(key));
+  }
+  // Guard the size product against overflow before it reaches GetBytes.
+  if (dim != 0 && count > SIZE_MAX / sizeof(double) / dim) {
+    return Status::InvalidArgument("corrupt embedding: " +
+                                   std::to_string(count) + " x " +
+                                   std::to_string(dim) + " overflows");
+  }
+  std::string_view raw;
+  LEVA_RETURN_IF_ERROR(in->GetBytes(count * dim * sizeof(double), &raw));
+  e.data_.resize(count * dim);
+  std::memcpy(e.data_.data(), raw.data(), raw.size());
+  *this = std::move(e);
+  return Status::OK();
 }
 
 double Embedding::L1Distance(std::span<const double> a,

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/io.h"
 #include "common/result.h"
 #include "common/string_util.h"
 
@@ -62,7 +63,19 @@ class Embedding {
 
   /// Serializes as "key dim v1 ... vd" lines.
   std::string ToText() const;
+  /// Parses ToText output. Rejects duplicate keys and non-finite (NaN/Inf)
+  /// vector components with kInvalidArgument: a store with either would
+  /// silently poison every downstream featurization.
   static Result<Embedding> FromText(const std::string& text);
+
+  /// Binary serialization for snapshots: keys plus the raw row-major vector
+  /// block, bit-exact (unlike the decimal ToText round trip).
+  void Save(BufferWriter* out) const;
+
+  /// Restores state written by Save, rebuilding the key index. Rejects
+  /// duplicate keys; vector bits are restored verbatim. On error the store
+  /// is left empty, never partially loaded.
+  Status Load(BufferReader* in);
 
   /// L1 distance between two vectors of equal length.
   static double L1Distance(std::span<const double> a, std::span<const double> b);

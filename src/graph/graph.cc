@@ -42,6 +42,134 @@ std::vector<NodeId> LevaGraph::NodesOfKind(NodeKind kind) const {
   return out;
 }
 
+void LevaGraph::Save(BufferWriter* out) const {
+  const size_t n = kinds_.size();
+  out->PutU64(n);
+  for (const NodeKind k : kinds_) out->PutU8(static_cast<uint8_t>(k));
+  for (const std::string& l : labels_) out->PutString(l);
+  for (const size_t o : offsets_) out->PutU64(o);
+  out->PutU64(targets_.size());
+  for (const NodeId t : targets_) out->PutU32(t);
+  for (const float w : weights_) out->PutFloat(w);
+
+  std::vector<std::pair<std::string, std::pair<NodeId, size_t>>> rows(
+      row_index_.begin(), row_index_.end());
+  std::sort(rows.begin(), rows.end());
+  out->PutU64(rows.size());
+  for (const auto& [table, range] : rows) {
+    out->PutString(table);
+    out->PutU32(range.first);
+    out->PutU64(range.second);
+  }
+
+  out->PutU64(stats_.row_nodes);
+  out->PutU64(stats_.value_nodes);
+  out->PutU64(stats_.edges);
+  out->PutU64(stats_.tokens_seen);
+  out->PutU64(stats_.tokens_removed_missing);
+  out->PutU64(stats_.tokens_removed_unshared);
+  out->PutU64(stats_.votes_dropped_lowevidence);
+}
+
+Status LevaGraph::Load(BufferReader* in) {
+  *this = LevaGraph();
+  LevaGraph g;
+  uint64_t n = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&n));
+  if (n >= kInvalidNode) {
+    return Status::InvalidArgument("corrupt graph: node count " +
+                                   std::to_string(n) + " overflows NodeId");
+  }
+  g.kinds_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t k = 0;
+    LEVA_RETURN_IF_ERROR(in->GetU8(&k));
+    if (k > static_cast<uint8_t>(NodeKind::kValue)) {
+      return Status::InvalidArgument("corrupt graph: bad node kind " +
+                                     std::to_string(k));
+    }
+    g.kinds_.push_back(static_cast<NodeKind>(k));
+  }
+  g.labels_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string l;
+    LEVA_RETURN_IF_ERROR(in->GetString(&l));
+    g.labels_.push_back(std::move(l));
+  }
+  g.offsets_.reserve(n + 1);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i <= n; ++i) {
+    uint64_t o = 0;
+    LEVA_RETURN_IF_ERROR(in->GetU64(&o));
+    if ((i == 0 && o != 0) || o < prev) {
+      return Status::InvalidArgument(
+          "corrupt graph: adjacency offsets not monotone at node " +
+          std::to_string(i));
+    }
+    prev = o;
+    g.offsets_.push_back(o);
+  }
+  uint64_t num_targets = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&num_targets));
+  if (num_targets != g.offsets_.back() || num_targets % 2 != 0) {
+    return Status::InvalidArgument(
+        "corrupt graph: " + std::to_string(num_targets) +
+        " adjacency entries but offsets end at " +
+        std::to_string(g.offsets_.back()));
+  }
+  g.targets_.reserve(num_targets);
+  for (uint64_t i = 0; i < num_targets; ++i) {
+    NodeId t = 0;
+    LEVA_RETURN_IF_ERROR(in->GetU32(&t));
+    if (t >= n) {
+      return Status::InvalidArgument("corrupt graph: edge target " +
+                                     std::to_string(t) + " out of range " +
+                                     std::to_string(n));
+    }
+    g.targets_.push_back(t);
+  }
+  g.weights_.reserve(num_targets);
+  for (uint64_t i = 0; i < num_targets; ++i) {
+    float w = 0;
+    LEVA_RETURN_IF_ERROR(in->GetFloat(&w));
+    g.weights_.push_back(w);
+  }
+
+  uint64_t num_tables = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&num_tables));
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    std::string table;
+    NodeId first = 0;
+    uint64_t count = 0;
+    LEVA_RETURN_IF_ERROR(in->GetString(&table));
+    LEVA_RETURN_IF_ERROR(in->GetU32(&first));
+    LEVA_RETURN_IF_ERROR(in->GetU64(&count));
+    if (count > n || first > n - count) {
+      return Status::InvalidArgument("corrupt graph: row range for '" + table +
+                                     "' out of bounds");
+    }
+    if (!g.row_index_.emplace(std::move(table), std::make_pair(first, count))
+             .second) {
+      return Status::InvalidArgument("corrupt graph: duplicate table range");
+    }
+  }
+
+  LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.row_nodes));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.value_nodes));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.edges));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.tokens_seen));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.tokens_removed_missing));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.tokens_removed_unshared));
+  LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.votes_dropped_lowevidence));
+
+  // The value-node index is a pure function of kinds/labels: rebuild it.
+  for (NodeId i = 0; i < g.kinds_.size(); ++i) {
+    if (g.kinds_[i] == NodeKind::kValue) g.value_index_.emplace(g.labels_[i], i);
+  }
+  *this = std::move(g);
+  return Status::OK();
+}
+
 size_t LevaGraph::MemoryBytes() const {
   size_t bytes = kinds_.capacity() * sizeof(NodeKind) +
                  offsets_.capacity() * sizeof(size_t) +

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/io.h"
 #include "common/result.h"
 #include "common/string_util.h"
 #include "text/textifier.h"
@@ -85,6 +86,18 @@ class LevaGraph {
   size_t MemoryBytes() const;
 
   const GraphStats& stats() const { return stats_; }
+
+  /// Serializes the whole CSR structure (nodes, labels, adjacency, weights,
+  /// table row ranges, stats). Maps are written in sorted order so the bytes
+  /// are a pure function of the graph. The value-node index is derivable
+  /// from kinds/labels and is rebuilt on Load rather than stored.
+  void Save(BufferWriter* out) const;
+
+  /// Restores state written by Save, validating every structural invariant
+  /// (offset monotonicity, edge symmetry counts, id ranges) so a corrupt
+  /// buffer is rejected instead of producing out-of-bounds adjacency. On
+  /// error the graph is left empty, never partially loaded.
+  Status Load(BufferReader* in);
 
  private:
   friend class GraphBuilder;

@@ -1,5 +1,7 @@
 #include "table/csv.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -192,10 +194,20 @@ Result<Table> ReadCsvString(std::string_view content,
 Result<Table> ReadCsvFile(const std::string& path,
                           const std::string& table_name,
                           const CsvOptions& options) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading: " +
+                           (errno != 0 ? std::strerror(errno)
+                                       : "unknown stream error"));
+  }
   std::ostringstream ss;
   ss << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("error reading '" + path + "': " +
+                           (errno != 0 ? std::strerror(errno)
+                                       : "unknown stream error"));
+  }
   return ReadCsvString(ss.str(), table_name, options);
 }
 
@@ -225,10 +237,20 @@ std::string WriteCsvString(const Table& table, char delimiter) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     char delimiter) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing: " +
+                           (errno != 0 ? std::strerror(errno)
+                                       : "unknown stream error"));
+  }
   out << WriteCsvString(table, delimiter);
-  if (!out) return Status::IOError("failed writing '" + path + "'");
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing '" + path + "': " +
+                           (errno != 0 ? std::strerror(errno)
+                                       : "unknown stream error"));
+  }
   return Status::OK();
 }
 

@@ -53,6 +53,11 @@ class Histogram {
   /// Default: a single degenerate bin (everything maps to bin 0).
   Histogram() = default;
 
+  /// Reconstructs a fitted histogram from its serialized state (`edges` must
+  /// be ascending interior edges, exactly as edges() returned them).
+  Histogram(HistogramType type, std::vector<double> edges)
+      : type_(type), edges_(std::move(edges)) {}
+
  private:
   HistogramType type_ = HistogramType::kEquiWidth;
   std::vector<double> edges_;

@@ -1,7 +1,9 @@
 #include "text/textifier.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -332,6 +334,114 @@ Result<ColumnClass> Textifier::ClassOf(const std::string& table_name,
                             "' was not fitted");
   }
   return state->cls;
+}
+
+void Textifier::Save(BufferWriter* out) const {
+  out->PutU64(options_.bin_count);
+  out->PutBool(options_.force_histogram_type);
+  out->PutU8(static_cast<uint8_t>(options_.forced_type));
+  out->PutDouble(options_.key_distinct_ratio);
+  out->PutDouble(options_.list_detect_ratio);
+
+  out->PutU64(attr_names_.size());
+  for (const std::string& name : attr_names_) out->PutString(name);
+
+  std::vector<const std::pair<const std::string, ColumnState>*> sorted;
+  sorted.reserve(columns_.size());
+  for (const auto& kv : columns_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  out->PutU64(sorted.size());
+  for (const auto* kv : sorted) {
+    out->PutString(kv->first);
+    const ColumnState& state = kv->second;
+    out->PutU32(state.attr_id);
+    out->PutU8(static_cast<uint8_t>(state.cls));
+    out->PutU8(static_cast<uint8_t>(state.list_separator));
+    out->PutU8(static_cast<uint8_t>(state.histogram.type()));
+    const std::vector<double>& edges = state.histogram.edges();
+    out->PutU64(edges.size());
+    for (const double e : edges) out->PutDouble(e);
+  }
+}
+
+Status Textifier::Load(BufferReader* in) {
+  // Parse into locals first so a corrupt buffer leaves this textifier empty
+  // instead of half-loaded.
+  std::unordered_map<std::string, ColumnState> columns;
+  std::vector<std::string> attr_names;
+  columns_.clear();
+  attr_names_.clear();
+
+  TextifyOptions options;
+  uint64_t u64 = 0;
+  uint8_t u8 = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&u64));
+  options.bin_count = u64;
+  LEVA_RETURN_IF_ERROR(in->GetBool(&options.force_histogram_type));
+  LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+  if (u8 > static_cast<uint8_t>(HistogramType::kEquiDepth)) {
+    return Status::InvalidArgument("corrupt textifier: bad histogram type " +
+                                   std::to_string(u8));
+  }
+  options.forced_type = static_cast<HistogramType>(u8);
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&options.key_distinct_ratio));
+  LEVA_RETURN_IF_ERROR(in->GetDouble(&options.list_detect_ratio));
+
+  uint64_t attr_count = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&attr_count));
+  attr_names.reserve(attr_count);
+  for (uint64_t i = 0; i < attr_count; ++i) {
+    std::string name;
+    LEVA_RETURN_IF_ERROR(in->GetString(&name));
+    attr_names.push_back(std::move(name));
+  }
+
+  uint64_t column_count = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&column_count));
+  for (uint64_t i = 0; i < column_count; ++i) {
+    std::string qualified;
+    LEVA_RETURN_IF_ERROR(in->GetString(&qualified));
+    ColumnState state;
+    LEVA_RETURN_IF_ERROR(in->GetU32(&state.attr_id));
+    if (state.attr_id >= attr_names.size()) {
+      return Status::InvalidArgument("corrupt textifier: column '" + qualified +
+                                     "' has attr id " +
+                                     std::to_string(state.attr_id) + " of " +
+                                     std::to_string(attr_names.size()));
+    }
+    LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+    if (u8 > static_cast<uint8_t>(ColumnClass::kStringList)) {
+      return Status::InvalidArgument("corrupt textifier: bad column class " +
+                                     std::to_string(u8));
+    }
+    state.cls = static_cast<ColumnClass>(u8);
+    LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+    state.list_separator = static_cast<char>(u8);
+    LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+    if (u8 > static_cast<uint8_t>(HistogramType::kEquiDepth)) {
+      return Status::InvalidArgument("corrupt textifier: bad histogram type " +
+                                     std::to_string(u8));
+    }
+    const HistogramType type = static_cast<HistogramType>(u8);
+    uint64_t edge_count = 0;
+    LEVA_RETURN_IF_ERROR(in->GetU64(&edge_count));
+    std::vector<double> edges;
+    edges.reserve(edge_count);
+    for (uint64_t e = 0; e < edge_count; ++e) {
+      double v = 0;
+      LEVA_RETURN_IF_ERROR(in->GetDouble(&v));
+      edges.push_back(v);
+    }
+    state.histogram = Histogram(type, std::move(edges));
+    if (!columns.emplace(std::move(qualified), std::move(state)).second) {
+      return Status::InvalidArgument("corrupt textifier: duplicate column");
+    }
+  }
+  options_ = options;
+  attr_names_ = std::move(attr_names);
+  columns_ = std::move(columns);
+  return Status::OK();
 }
 
 }  // namespace leva

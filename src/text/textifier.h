@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/io.h"
 #include "common/result.h"
 #include "table/table.h"
 #include "text/histogram.h"
@@ -127,6 +128,15 @@ class Textifier {
                               const std::string& column_name) const;
 
   const TextifyOptions& options() const { return options_; }
+
+  /// Serializes the fitted state (options, column classes, histograms) into
+  /// `out`. Columns are written in sorted-name order so the bytes are a pure
+  /// function of the fitted state, not of hash-map iteration order.
+  void Save(BufferWriter* out) const;
+
+  /// Restores state written by Save, replacing this textifier. On error the
+  /// textifier is left empty (unfitted), never partially loaded.
+  Status Load(BufferReader* in);
 
  private:
   struct ColumnState {

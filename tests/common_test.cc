@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
 
+#include "common/io.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -235,6 +238,93 @@ TEST(StageProfileTest, ScopedTimerAdds) {
   }
   ASSERT_EQ(profile.stages().size(), 1u);
   EXPECT_GE(profile.stages()[0].second, 0.0);
+}
+
+TEST(Crc32cTest, MatchesKnownVector) {
+  // RFC 3720 test vector for CRC32C.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ChainsAcrossCalls) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  uint32_t chained = 0;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    const size_t n = std::min<size_t>(7, data.size() - i);
+    chained = Crc32c(data.data() + i, n, chained);
+  }
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(BufferIoTest, RoundTripsAllTypes) {
+  BufferWriter w;
+  w.PutU8(0xAB);
+  w.PutBool(true);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(UINT64_C(0x0123456789ABCDEF));
+  w.PutFloat(1.5f);
+  w.PutDouble(-2.25);
+  w.PutString("hello");
+  BufferReader r(w.data());
+  uint8_t u8 = 0;
+  bool b = false;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  float f = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetBool(&b).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetFloat(&f).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, UINT64_C(0x0123456789ABCDEF));
+  EXPECT_EQ(f, 1.5f);
+  EXPECT_EQ(d, -2.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufferIoTest, RejectsReadsPastTheEnd) {
+  BufferWriter w;
+  w.PutU32(7);
+  BufferReader r(w.data());
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.GetU64(&u64).ok());
+}
+
+TEST(BufferIoTest, RejectsCorruptStringLength) {
+  // A string claiming to be far longer than the buffer must fail cleanly
+  // instead of allocating or reading out of bounds.
+  BufferWriter w;
+  w.PutU64(UINT64_C(1) << 60);
+  w.PutU8('x');
+  BufferReader r(w.data());
+  std::string s;
+  EXPECT_FALSE(r.GetString(&s).ok());
+}
+
+TEST(AtomicWriteFileTest, WritesAndOverwrites) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/leva_atomic_write_test.bin";
+  Env* env = Env::Default();
+  ASSERT_TRUE(AtomicWriteFile(env, path, "first").ok());
+  auto back = env->ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "first");
+  ASSERT_TRUE(AtomicWriteFile(env, path, "second, longer contents").ok());
+  back = env->ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "second, longer contents");
+  EXPECT_TRUE(env->DeleteFile(path).ok());
+  // The temp staging file must not linger.
+  EXPECT_FALSE(env->FileExists(path + ".tmp"));
 }
 
 }  // namespace

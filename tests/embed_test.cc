@@ -72,6 +72,25 @@ TEST(EmbeddingTest, TextSerializationRoundTrip) {
   EXPECT_DOUBLE_EQ(back->Get("alpha")[1], -2.25);
 }
 
+TEST(EmbeddingTest, FromTextRejectsNonFiniteValues) {
+  const auto nan = Embedding::FromText("1 2\nkey nan 1.0\n");
+  ASSERT_FALSE(nan.ok());
+  EXPECT_EQ(nan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nan.status().message().find("key"), std::string::npos);
+  const auto inf = Embedding::FromText("1 2\nkey 1.0 inf\n");
+  ASSERT_FALSE(inf.ok());
+  EXPECT_EQ(inf.status().code(), StatusCode::kInvalidArgument);
+  const auto neg_inf = Embedding::FromText("1 1\nkey -inf\n");
+  EXPECT_FALSE(neg_inf.ok());
+}
+
+TEST(EmbeddingTest, FromTextRejectsDuplicateKeys) {
+  const auto dup = Embedding::FromText("2 1\nkey 1.0\nkey 2.0\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+}
+
 TEST(EmbeddingTest, Distances) {
   const std::vector<double> a = {1, 0};
   const std::vector<double> b = {0, 1};

@@ -2,7 +2,9 @@
 // dirty/unicode data, determinism, and the datetime pathway.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "common/string_util.h"
@@ -222,6 +224,25 @@ TEST(RobustnessTest, CsvFileMissingPathFails) {
   EXPECT_FALSE(ReadCsvFile("/nonexistent/nope.csv", "t").ok());
   Table t("t");
   EXPECT_FALSE(WriteCsvFile(t, "/nonexistent/nope.csv").ok());
+}
+
+TEST(RobustnessTest, CsvFileErrorsNamePathAndCause) {
+  const auto read = ReadCsvFile("/nonexistent/nope.csv", "t");
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("/nonexistent/nope.csv"),
+            std::string::npos)
+      << read.status().message();
+  EXPECT_NE(read.status().message().find(std::strerror(ENOENT)),
+            std::string::npos)
+      << read.status().message();
+
+  Table t("t");
+  const Status write = WriteCsvFile(t, "/nonexistent/nope.csv");
+  ASSERT_FALSE(write.ok());
+  EXPECT_NE(write.message().find("/nonexistent/nope.csv"), std::string::npos)
+      << write.message();
+  EXPECT_NE(write.message().find(std::strerror(ENOENT)), std::string::npos)
+      << write.message();
 }
 
 TEST(RobustnessTest, FeaturizeWithWrongTargetFails) {

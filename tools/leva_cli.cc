@@ -5,11 +5,17 @@
 //            [--dim 100] [--method auto|mf|rw] [--bins 50] \
 //            [--theta-range 0.5] [--theta-min 0.05] [--unweighted] \
 //            [--threads N] [--featurize base_table target_column out.csv] \
+//            [--save-model model.leva | --load-model model.leva] \
 //            --output embedding.txt
 //
 // With --featurize, the base table is additionally encoded with the trained
 // embedding and written as a plain numeric CSV (emb0..embN plus the target),
 // ready for any external ML tool.
+//
+// --save-model writes the whole fitted pipeline as a checksummed snapshot;
+// --load-model restores one instead of running Fit, so a serving process
+// skips textification, graph construction, and embedding training entirely.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +37,8 @@ struct CliOptions {
   std::string featurize_table;
   std::string featurize_target;
   std::string featurize_output;
+  std::string save_model;
+  std::string load_model;
   LevaConfig config;
   bool show_help = false;
 };
@@ -43,7 +51,9 @@ void PrintUsage() {
       "                [--seed N] [--threads N (0 = all hardware threads)]\n"
       "                [--featurize TABLE TARGET OUT.csv]\n"
       "                [--featurize-batch-size N (rows per serving batch; "
-      "0 = whole table)]\n");
+      "0 = whole table)]\n"
+      "                [--save-model FILE (write fitted pipeline snapshot)]\n"
+      "                [--load-model FILE (restore snapshot, skip Fit)]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -133,6 +143,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->config.featurize_batch_size = static_cast<size_t>(parsed);
+    } else if (arg == "--save-model") {
+      const char* v = next("--save-model");
+      if (v == nullptr) return false;
+      options->save_model = v;
+    } else if (arg == "--load-model") {
+      const char* v = next("--load-model");
+      if (v == nullptr) return false;
+      options->load_model = v;
     } else if (arg == "--featurize") {
       if (i + 3 >= argc) {
         std::fprintf(stderr, "--featurize expects TABLE TARGET OUT.csv\n");
@@ -171,9 +189,43 @@ int RunCli(const CliOptions& options) {
   }
 
   LevaPipeline pipeline(options.config);
-  if (Status s = pipeline.Fit(db); !s.ok()) {
-    std::fprintf(stderr, "pipeline: %s\n", s.ToString().c_str());
-    return 1;
+  if (!options.load_model.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (Status s = pipeline.LoadSnapshot(options.load_model); !s.ok()) {
+      std::fprintf(stderr, "load-model: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    std::fprintf(stderr,
+                 "loaded snapshot %s in %.3fs (%zu vectors, dim %zu) — "
+                 "Fit skipped\n",
+                 options.load_model.c_str(), elapsed.count(),
+                 pipeline.embedding().size(), pipeline.embedding().dim());
+    // The snapshot restores the fit-time config; serving-only knobs on this
+    // command line still win.
+    pipeline.set_serving_options(options.config.threads,
+                                 options.config.featurize_batch_size);
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (Status s = pipeline.Fit(db); !s.ok()) {
+      std::fprintf(stderr, "pipeline: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    std::fprintf(stderr, "fit in %.3fs\n", elapsed.count());
+  }
+  if (!options.save_model.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (Status s = pipeline.SaveSnapshot(options.save_model); !s.ok()) {
+      std::fprintf(stderr, "save-model: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    std::fprintf(stderr, "saved snapshot to %s in %.3fs\n",
+                 options.save_model.c_str(), elapsed.count());
   }
   const GraphStats& stats = pipeline.graph().stats();
   std::fprintf(stderr,
@@ -275,7 +327,9 @@ int main(int argc, char** argv) {
     leva::PrintUsage();
     return 2;
   }
-  if (options.show_help || options.tables.empty()) {
+  // --load-model needs no input tables unless --featurize wants one.
+  if (options.show_help ||
+      (options.tables.empty() && options.load_model.empty())) {
     leva::PrintUsage();
     return options.show_help ? 0 : 2;
   }
