@@ -74,6 +74,21 @@ Result<std::string> FaultInjectionEnv::ReadFileToString(
   return base_->ReadFileToString(path);
 }
 
+Result<std::shared_ptr<const MappedRegion>>
+FaultInjectionEnv::NewMmapReadableFile(const std::string& path) {
+  // Reads pass through even after a crash (the "restarted" process maps the
+  // file fresh), but go via a heap-backed region so the bad-page mode can
+  // corrupt the served bytes without touching the file on disk.
+  LEVA_ASSIGN_OR_RETURN(std::string bytes, base_->ReadFileToString(path));
+  if (bad_page_ != kNoBadPage) {
+    const size_t pos = bad_page_ * bad_page_size_;
+    if (pos < bytes.size()) {
+      bytes[pos] = static_cast<char>(bytes[pos] ^ 0x10);
+    }
+  }
+  return MappedRegion::FromString(std::move(bytes));
+}
+
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   if (ShouldFail(OpKind::kRename)) return InjectedError("rename");

@@ -61,7 +61,21 @@ class FaultInjectionEnv : public Env {
   void Heal() {
     crashed_ = false;
     fail_at_.fill(0);
+    bad_page_ = kNoBadPage;
   }
+
+  /// Bad-page mode: every subsequent NewMmapReadableFile serves the file
+  /// with one bit flipped inside page `page_index` (0-based, `page_size`-byte
+  /// pages), modeling silent media corruption under an mmap'ed snapshot.
+  /// Tests use it to prove the per-page checksums localize the damage: the
+  /// load (or an on-demand verify) must name exactly this page. Pages past
+  /// the end of a file are left untouched (the mode then never fires).
+  void CorruptMappedPage(size_t page_index, size_t page_size = 4096) {
+    bad_page_ = page_index;
+    bad_page_size_ = page_size;
+  }
+
+  static constexpr size_t kNoBadPage = static_cast<size_t>(-1);
 
   // Env interface.
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -71,6 +85,8 @@ class FaultInjectionEnv : public Env {
   Status DeleteFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
+  Result<std::shared_ptr<const MappedRegion>> NewMmapReadableFile(
+      const std::string& path) override;
 
  private:
   friend class FaultInjectionWritableFile;
@@ -84,6 +100,8 @@ class FaultInjectionEnv : public Env {
   std::array<size_t, kNumOpKinds> fail_at_ = {};  // 0 = disarmed
   AppendFault append_fault_ = AppendFault::kFailCleanly;
   bool crashed_ = false;
+  size_t bad_page_ = kNoBadPage;
+  size_t bad_page_size_ = 4096;
 };
 
 }  // namespace leva

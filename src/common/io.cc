@@ -3,11 +3,14 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <string.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 namespace leva {
 namespace {
@@ -156,6 +159,31 @@ class PosixEnv : public Env {
     ::close(fd);
     return Status::OK();
   }
+
+  Result<std::shared_ptr<const MappedRegion>> NewMmapReadableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for mapping", path));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const Status s = Status::IOError(ErrnoMessage("fstat", path));
+      ::close(fd);
+      return s;
+    }
+    const size_t len = static_cast<size_t>(st.st_size);
+    if (len == 0) {
+      ::close(fd);
+      return MappedRegion::FromString(std::string());
+    }
+    void* base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference to the file
+    if (base == MAP_FAILED) {
+      return Status::IOError(ErrnoMessage("mmap", path));
+    }
+    return MappedRegion::FromMmap(base, len);
+  }
 };
 
 std::string ParentDir(const std::string& path) {
@@ -191,12 +219,61 @@ Env* Env::Default() {
   return &env;
 }
 
-Status AtomicWriteFile(Env* env, const std::string& path,
-                       std::string_view contents) {
+Result<std::shared_ptr<const MappedRegion>> Env::NewMmapReadableFile(
+    const std::string& path) {
+  // Portable fallback: the whole file in a heap-backed region. Subclasses
+  // that wrap a base Env inherit this, so fault-injection reads stay
+  // observable; PosixEnv overrides it with a real mmap.
+  LEVA_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return MappedRegion::FromString(std::move(bytes));
+}
+
+// --- MappedRegion ------------------------------------------------------------
+
+std::shared_ptr<const MappedRegion> MappedRegion::FromString(
+    std::string bytes) {
+  auto region = std::shared_ptr<MappedRegion>(new MappedRegion());
+  region->heap_ = std::move(bytes);
+  region->data_ = region->heap_.data();
+  region->size_ = region->heap_.size();
+  return region;
+}
+
+std::shared_ptr<const MappedRegion> MappedRegion::FromMmap(void* base,
+                                                           size_t length) {
+  auto region = std::shared_ptr<MappedRegion>(new MappedRegion());
+  region->map_base_ = base;
+  region->map_len_ = length;
+  region->data_ = static_cast<const char*>(base);
+  region->size_ = length;
+  return region;
+}
+
+MappedRegion::~MappedRegion() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+}
+
+size_t CurrentRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<size_t>(std::atoll(line.c_str() + 6)) * 1024;
+    }
+  }
+  return 0;
+}
+
+Status AtomicWriteChunks(Env* env, const std::string& path,
+                         std::span<const std::string_view> chunks) {
   const std::string tmp = path + ".tmp";
   LEVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
                         env->NewWritableFile(tmp));
-  Status s = file->Append(contents);
+  Status s = Status::OK();
+  for (const std::string_view chunk : chunks) {
+    s = file->Append(chunk);
+    if (!s.ok()) break;
+  }
   if (s.ok()) s = file->Sync();
   if (s.ok()) s = file->Close();
   if (!s.ok()) {
@@ -206,6 +283,12 @@ Status AtomicWriteFile(Env* env, const std::string& path,
   }
   LEVA_RETURN_IF_ERROR(env->RenameFile(tmp, path));
   return env->SyncDir(ParentDir(path));
+}
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents) {
+  const std::string_view chunks[] = {contents};
+  return AtomicWriteChunks(env, path, chunks);
 }
 
 }  // namespace leva

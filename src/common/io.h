@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
+#include "common/storage.h"
 
 namespace leva {
 
@@ -57,6 +59,15 @@ class Env {
   /// fsync() on a directory, making a prior rename within it durable.
   virtual Status SyncDir(const std::string& path) = 0;
 
+  /// Maps the whole of `path` for read-only random access. The base
+  /// implementation reads the file into a heap-backed MappedRegion — correct
+  /// for any Env (fault-injection wrappers inherit it) but without page
+  /// sharing; PosixEnv overrides it with a real mmap(2), so loading a
+  /// snapshot touches only the pages actually read and N serving processes
+  /// share one physical copy of the file's page-cache pages.
+  virtual Result<std::shared_ptr<const MappedRegion>> NewMmapReadableFile(
+      const std::string& path);
+
   /// The process-wide POSIX environment.
   static Env* Default();
 };
@@ -69,6 +80,19 @@ class Env {
 /// readers and overwritten by the next save.
 Status AtomicWriteFile(Env* env, const std::string& path,
                        std::string_view contents);
+
+/// AtomicWriteFile for content assembled as multiple chunks (e.g. a snapshot
+/// manifest followed by page-aligned bulk arrays): every chunk is appended to
+/// the same temp file in order, then fsync + rename + dir-sync as above. The
+/// chunks never need to be concatenated in memory, so a multi-GB section can
+/// be streamed straight out of the store that owns it.
+Status AtomicWriteChunks(Env* env, const std::string& path,
+                         std::span<const std::string_view> chunks);
+
+/// Current resident set size of this process in bytes (VmRSS from
+/// /proc/self/status), or 0 when unavailable. Used by the serving bench and
+/// leva_cli to report the physical-memory cost of a model load.
+size_t CurrentRssBytes();
 
 /// Append-only binary serialization buffer. Fixed-width little-endian
 /// integers; floating-point values are stored as their exact bit patterns,
@@ -98,6 +122,12 @@ class BufferWriter {
   /// Raw bytes, no length prefix (caller frames them).
   void PutBytes(const void* data, size_t n) {
     buf_.append(static_cast<const char*>(data), n);
+  }
+  /// Appends zero bytes until size() is a multiple of `alignment` (a power
+  /// of two) — how the snapshot writer pads bulk sections to page boundaries
+  /// so they can be mapped directly.
+  void AlignTo(size_t alignment) {
+    buf_.append((alignment - buf_.size() % alignment) % alignment, '\0');
   }
 
   const std::string& data() const { return buf_; }

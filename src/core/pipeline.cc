@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -119,6 +121,15 @@ void GatherChunk(const ResolvedColumn* cols, size_t num_cols, size_t dim,
 
 }  // namespace
 
+const LevaPipeline::ServingState& LevaPipeline::state_or_empty() const {
+  static const ServingState kEmpty;
+  const std::shared_ptr<const ServingState> s =
+      serving_.load();
+  // The reference stays valid because `serving_` keeps its own reference
+  // until the next publish — callers must not hold it across a reload.
+  return s == nullptr ? kEmpty : *s;
+}
+
 Status LevaPipeline::Fit(const Database& db) {
   Rng rng(config_.seed);
   profile_.Clear();
@@ -127,15 +138,20 @@ Status LevaPipeline::Fit(const Database& db) {
   LEVA_LOG(kDebug, "pipeline threads: %zu (requested %zu)", threads,
            config_.threads);
 
+  // The whole model is assembled in a shadow state and only published at the
+  // end, so a failed Fit never leaves a half-built model serving.
+  auto state = std::make_shared<ServingState>();
+  state->config = config_;
+
   // Stage 1: input & textification.
   std::vector<TextifiedTable> textified;
   {
     ScopedStageTimer timer(&profile_, "textify");
-    textifier_ = Textifier(config_.textify);
-    LEVA_RETURN_IF_ERROR(textifier_.Fit(db));
+    state->textifier = Textifier(config_.textify);
+    LEVA_RETURN_IF_ERROR(state->textifier.Fit(db));
     textified.reserve(db.tables().size());
     for (const Table& t : db.tables()) {
-      LEVA_ASSIGN_OR_RETURN(TextifiedTable tt, textifier_.Transform(t));
+      LEVA_ASSIGN_OR_RETURN(TextifiedTable tt, state->textifier.Transform(t));
       textified.push_back(std::move(tt));
     }
   }
@@ -144,37 +160,39 @@ Status LevaPipeline::Fit(const Database& db) {
   {
     ScopedStageTimer timer(&profile_, "graph");
     LEVA_ASSIGN_OR_RETURN(
-        graph_,
-        BuildGraph(textified, textifier_.NumAttributes(), config_.graph));
+        state->graph,
+        BuildGraph(textified, state->textifier.NumAttributes(), config_.graph));
   }
+  const LevaGraph& graph = state->graph;
 
   // Method selection: MF when the estimated memory fits the budget
   // (Section 4.2 "Why Two Methods?").
-  chosen_ = config_.method;
-  if (chosen_ == EmbeddingMethod::kAuto) {
+  EmbeddingMethod chosen = config_.method;
+  if (chosen == EmbeddingMethod::kAuto) {
     const size_t mf_bytes = EstimateMfMemoryBytes(
-        graph_.NumNodes(), graph_.NumEdges(), config_.embedding_dim);
-    chosen_ = mf_bytes <= config_.memory_budget_bytes
-                  ? EmbeddingMethod::kMatrixFactorization
-                  : EmbeddingMethod::kRandomWalk;
+        graph.NumNodes(), graph.NumEdges(), config_.embedding_dim);
+    chosen = mf_bytes <= config_.memory_budget_bytes
+                 ? EmbeddingMethod::kMatrixFactorization
+                 : EmbeddingMethod::kRandomWalk;
     LEVA_LOG(kDebug, "auto method: MF estimate %zu bytes -> %s", mf_bytes,
-             chosen_ == EmbeddingMethod::kMatrixFactorization ? "MF" : "RW");
+             chosen == EmbeddingMethod::kMatrixFactorization ? "MF" : "RW");
   }
+  state->chosen = chosen;
 
   // Stage 4: embedding construction.
   Matrix node_vectors;
-  if (chosen_ == EmbeddingMethod::kMatrixFactorization) {
+  if (chosen == EmbeddingMethod::kMatrixFactorization) {
     ScopedStageTimer timer(&profile_, "factorization");
     MfOptions mf = config_.mf;
     mf.dim = config_.embedding_dim;
     mf.threads = threads;
     LEVA_ASSIGN_OR_RETURN(node_vectors,
-                          MatrixFactorizationEmbed(graph_, mf, &rng));
-  } else if (chosen_ == EmbeddingMethod::kLine) {
+                          MatrixFactorizationEmbed(graph, mf, &rng));
+  } else if (chosen == EmbeddingMethod::kLine) {
     ScopedStageTimer timer(&profile_, "edge_sampling");
     LineOptions line = config_.line;
     line.dim = config_.embedding_dim;
-    LEVA_ASSIGN_OR_RETURN(node_vectors, LineEmbed(graph_, line, &rng));
+    LEVA_ASSIGN_OR_RETURN(node_vectors, LineEmbed(graph, line, &rng));
   } else {
     FlatCorpus corpus;
     {
@@ -182,7 +200,7 @@ Status LevaPipeline::Fit(const Database& db) {
       WalkOptions walk_options = config_.walks;
       walk_options.weighted = config_.graph.weighted && walk_options.weighted;
       walk_options.threads = threads;
-      WalkGenerator generator(&graph_, walk_options);
+      WalkGenerator generator(&graph, walk_options);
       LEVA_ASSIGN_OR_RETURN(corpus, generator.Generate(&rng));
     }
     {
@@ -191,7 +209,7 @@ Status LevaPipeline::Fit(const Database& db) {
       w2v.dim = config_.embedding_dim;
       w2v.threads = threads;
       Word2Vec model(w2v);
-      LEVA_RETURN_IF_ERROR(model.Train(corpus, graph_.NumNodes(), &rng));
+      LEVA_RETURN_IF_ERROR(model.Train(corpus, graph.NumNodes(), &rng));
       node_vectors = model.node_vectors();
     }
   }
@@ -199,36 +217,42 @@ Status LevaPipeline::Fit(const Database& db) {
   // Store vectors keyed by node label.
   {
     ScopedStageTimer timer(&profile_, "deploy_index");
-    embedding_ = Embedding(node_vectors.cols());
-    for (NodeId n = 0; n < graph_.NumNodes(); ++n) {
-      LEVA_RETURN_IF_ERROR(embedding_.Put(
-          graph_.label(n), {node_vectors.RowPtr(n), node_vectors.cols()}));
+    state->embedding = Embedding(node_vectors.cols());
+    for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+      LEVA_RETURN_IF_ERROR(state->embedding.Put(
+          graph.label(n), {node_vectors.RowPtr(n), node_vectors.cols()}));
     }
   }
-  // A resolver cache from a previous fit would resolve against stale stores
-  // (the member addresses don't change across re-Fit, so the pointer check
-  // in Featurize can't catch this).
-  resolver_cache_ = TokenResolver(&embedding_, &graph_, config_.graph.weighted);
-  fitted_ = true;
+  // The serving cache resolves against this state's stores; their addresses
+  // are stable because the state is heap-allocated and immutable once
+  // published.
+  state->resolver =
+      TokenResolver(&state->embedding, &state->graph, config_.graph.weighted);
+  const size_t dim = state->embedding.dim();
+  const size_t width =
+      config_.featurization == Featurization::kRowPlusValue ? 2 * dim : dim;
+  state->feature_names = FeatureNames(dim, width);
+  serving_.store(std::move(state));
   return Status::OK();
 }
 
-void LevaPipeline::ComposeFromTokens(const std::vector<std::string>& tokens,
+void LevaPipeline::ComposeFromTokens(const ServingState& s,
+                                     const std::vector<std::string>& tokens,
                                      std::vector<double>* out) const {
-  const size_t dim = embedding_.dim();
+  const size_t dim = s.embedding.dim();
   out->assign(dim, 0.0);
   double total_weight = 0.0;
   for (const std::string& token : tokens) {
-    const auto vec = embedding_.Get(token);
+    const auto vec = s.embedding.Get(token);
     if (vec.empty()) continue;
     // Hub value nodes shared by many rows carry little inclusion-dependency
     // signal, so the aggregation mirrors the edge weighting of Section 3.2:
     // inverse to the value node's degree.
     double w = 1.0;
-    if (config_.graph.weighted) {
-      const NodeId vn = graph_.ValueNode(token);
-      if (vn != kInvalidNode && graph_.Degree(vn) > 0) {
-        w = 1.0 / static_cast<double>(graph_.Degree(vn));
+    if (s.config.graph.weighted) {
+      const NodeId vn = s.graph.ValueNode(token);
+      if (vn != kInvalidNode && s.graph.Degree(vn) > 0) {
+        w = 1.0 / static_cast<double>(s.graph.Degree(vn));
       }
     }
     total_weight += w;
@@ -242,22 +266,30 @@ void LevaPipeline::ComposeFromTokens(const std::vector<std::string>& tokens,
 Result<std::vector<double>> LevaPipeline::RowVector(
     const Table& table, size_t row, const std::string& target_column,
     bool rows_in_graph) const {
-  if (!fitted_) return Status::FailedPrecondition("pipeline is not fitted");
-  const size_t dim = embedding_.dim();
+  const std::shared_ptr<const ServingState> s =
+      serving_.load();
+  if (s == nullptr) return Status::FailedPrecondition("pipeline is not fitted");
+  return RowVectorImpl(*s, table, row, target_column, rows_in_graph);
+}
+
+Result<std::vector<double>> LevaPipeline::RowVectorImpl(
+    const ServingState& s, const Table& table, size_t row,
+    const std::string& target_column, bool rows_in_graph) const {
+  const size_t dim = s.embedding.dim();
 
   // Collect the row's tokens, skipping the target column (no label leakage).
   // Rows already in the graph under kRowOnly never consult the tokens, so
   // skip textification entirely on that branch.
   std::vector<std::string> tokens;
   const bool need_tokens =
-      !(rows_in_graph && config_.featurization == Featurization::kRowOnly);
+      !(rows_in_graph && s.config.featurization == Featurization::kRowOnly);
   if (need_tokens) {
     for (size_t c = 0; c < table.NumColumns(); ++c) {
       const Column& col = table.column(c);
       if (col.name == target_column) continue;
       LEVA_ASSIGN_OR_RETURN(
           std::vector<std::string> cell,
-          textifier_.TransformCell(table.name(), col.name, col.values[row]));
+          s.textifier.TransformCell(table.name(), col.name, col.values[row]));
       for (std::string& t : cell) tokens.push_back(std::move(t));
     }
   }
@@ -268,21 +300,21 @@ Result<std::vector<double>> LevaPipeline::RowVector(
   // numeric values quantized into existing bins (Section 2.4).
   std::vector<double> row_vec;
   if (rows_in_graph) {
-    const auto vec = embedding_.Get(table.name() + ":" + std::to_string(row));
+    const auto vec = s.embedding.Get(table.name() + ":" + std::to_string(row));
     if (vec.empty()) {
       return Status::NotFound("row node missing for '" + table.name() + ":" +
                               std::to_string(row) + "'");
     }
     row_vec.assign(vec.begin(), vec.end());
   } else {
-    ComposeFromTokens(tokens, &row_vec);
+    ComposeFromTokens(s, tokens, &row_vec);
   }
-  if (config_.featurization == Featurization::kRowOnly) return row_vec;
+  if (s.config.featurization == Featurization::kRowOnly) return row_vec;
 
   // Row + Value: concatenate the value-node embeddings that share edges with
   // the row (aggregated by mean).
   std::vector<double> value_vec;
-  ComposeFromTokens(tokens, &value_vec);
+  ComposeFromTokens(s, tokens, &value_vec);
   row_vec.reserve(2 * dim);
   row_vec.insert(row_vec.end(), value_vec.begin(), value_vec.end());
   return row_vec;
@@ -292,33 +324,38 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
                                           const std::string& target_column,
                                           const TargetEncoder& encoder,
                                           bool rows_in_graph) const {
-  if (!fitted_) return Status::FailedPrecondition("pipeline is not fitted");
-  ScopedStageTimer timer(&profile_, "featurize");
+  // Pin the model this call runs against: a concurrent ReloadSnapshot swaps
+  // the pipeline's pointer but cannot touch this state, so the whole call
+  // sees one consistent model (and keeps its backing mapping alive).
+  const std::shared_ptr<const ServingState> state =
+      serving_.load();
+  if (state == nullptr) {
+    return Status::FailedPrecondition("pipeline is not fitted");
+  }
+  const ServingState& s = *state;
+  WallTimer call_timer;
   LEVA_ASSIGN_OR_RETURN(const size_t target_idx,
                         table.ColumnIndex(target_column));
 
-  const size_t dim = embedding_.dim();
+  const size_t dim = s.embedding.dim();
   const bool row_plus_value =
-      config_.featurization == Featurization::kRowPlusValue;
+      s.config.featurization == Featurization::kRowPlusValue;
   const size_t width = row_plus_value ? 2 * dim : dim;
   const size_t num_rows = table.NumRows();
-  const size_t threads = ResolveThreads(config_.threads);
-  const size_t batch = config_.featurize_batch_size == 0
-                           ? num_rows
-                           : config_.featurize_batch_size;
+  const size_t threads =
+      ResolveThreads(serving_threads_.load(std::memory_order_relaxed));
+  const size_t batch_opt = serving_batch_.load(std::memory_order_relaxed);
+  const size_t batch = batch_opt == 0 ? num_rows : batch_opt;
 
-  featurize_stats_ = FeaturizeStats{};
-  featurize_stats_.rows = num_rows;
+  FeaturizeStats fs;
+  fs.rows = num_rows;
 
   MLDataset ds;
   ds.classification = encoder.classification();
   ds.num_classes = encoder.classification() ? encoder.num_classes() : 2;
   ds.x = Matrix(num_rows, width);
   ds.y.resize(num_rows);
-  if (feature_names_cache_.size() != width) {
-    feature_names_cache_ = FeatureNames(dim, width);
-  }
-  ds.feature_names = feature_names_cache_;
+  ds.feature_names = s.feature_names;
 
   // Hoisted row-node resolution: one table-name hash for the whole call.
   // Row node ids are contiguous, and the embedding built by Fit stores node
@@ -326,12 +363,12 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
   // the first row's label) row r's vector is store row `first + r` — no
   // per-row "<table>:<row>" string is ever built. The label-based fallback
   // keeps the legacy lookup semantics for any non-aligned store.
-  const auto [first_row_node, row_node_count] = graph_.TableRows(table.name());
+  const auto [first_row_node, row_node_count] = s.graph.TableRows(table.name());
   const bool aligned = rows_in_graph && first_row_node != kInvalidNode &&
                        row_node_count >= num_rows &&
-                       embedding_.size() >= graph_.NumNodes() &&
+                       s.embedding.size() >= s.graph.NumNodes() &&
                        num_rows > 0 &&
-                       embedding_.IdOf(graph_.label(first_row_node)) ==
+                       s.embedding.IdOf(s.graph.label(first_row_node)) ==
                            first_row_node;
 
   std::vector<size_t> row_ids(rows_in_graph ? num_rows : 0);
@@ -341,7 +378,7 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
         row_ids[r] = first_row_node + r;
       } else {
         const std::string label = table.name() + ":" + std::to_string(r);
-        row_ids[r] = embedding_.IdOf(label);
+        row_ids[r] = s.embedding.IdOf(label);
         if (row_ids[r] == Embedding::kInvalidId) {
           return Status::NotFound("row node missing for '" + label + "'");
         }
@@ -360,57 +397,62 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
     }
   }
 
-  // The resolver persists across calls: resolution is a pure function of the
-  // fitted stores, so a warm cache turns repeat serving over the same
-  // vocabulary into pure id arithmetic. Stale pointers (fresh/copied/moved
-  // pipeline) force a rebuild; Fit resets it explicitly.
-  if (resolver_cache_.embedding() != &embedding_ ||
-      resolver_cache_.graph() != &graph_ ||
-      resolver_cache_.weighted() != config_.graph.weighted) {
-    resolver_cache_ = TokenResolver(&embedding_, &graph_, config_.graph.weighted);
-  }
-  TokenResolver& resolver = resolver_cache_;
-  const TokenResolver::Stats stats_before = resolver.stats();
   for (size_t b0 = 0; b0 < num_rows; b0 += batch) {
     const size_t b1 = std::min(num_rows, b0 + batch);
-    ++featurize_stats_.batches;
-    resolver.EvictIfAbove(kResolverCacheCap);
+    ++fs.batches;
 
-    // Phase 1 (sequential): column-wise textify + per-distinct-token
-    // resolution straight down to (embedding row pointer, weight) pairs.
+    // Phase 1 (serialized per model): column-wise textify + per-distinct-
+    // token resolution straight down to (embedding row pointer, weight)
+    // pairs. The resolver cache persists across calls — resolution is a pure
+    // function of the fitted stores — so a warm cache turns repeat serving
+    // over the same vocabulary into pure id arithmetic. Interning mutates
+    // the cache, hence the model-level mutex; the heavy gather below runs
+    // outside it.
     std::vector<ResolvedColumn> cols(token_cols.size());
-    for (size_t i = 0; i < token_cols.size(); ++i) {
-      LEVA_ASSIGN_OR_RETURN(
-          TextifiedColumn tc,
-          textifier_.TransformColumn(table.name(), *token_cols[i], b0, b1));
-      cols[i].offsets = std::move(tc.offsets);
-      cols[i].occ.reserve(tc.tokens.size() + kPrefetchDist);
-      featurize_stats_.token_occurrences += tc.tokens.size();
-      const auto resolved = [&](uint32_t id) -> ResolvedColumn::Occ {
-        const TokenResolver::Entry& e = resolver.entry(id);
-        return {e.embedding_id == Embedding::kInvalidId
-                    ? nullptr
-                    : embedding_.RowPtr(e.embedding_id),
-                e.weight};
-      };
-      if (!tc.dict_ids.empty()) {
-        // Dictionary-encoded (binned) column: resolve each distinct dict
-        // entry once, then map occurrences by array index — no hashing.
-        std::vector<ResolvedColumn::Occ> dict_occ(tc.dict.size());
-        for (size_t d = 0; d < tc.dict.size(); ++d) {
-          dict_occ[d] = resolved(resolver.Intern(tc.dict[d]));
+    {
+      std::lock_guard<std::mutex> lock(s.resolver_mu);
+      TokenResolver& resolver = s.resolver;
+      resolver.EvictIfAbove(kResolverCacheCap);
+      const TokenResolver::Stats stats_before = resolver.stats();
+      for (size_t i = 0; i < token_cols.size(); ++i) {
+        LEVA_ASSIGN_OR_RETURN(
+            TextifiedColumn tc,
+            s.textifier.TransformColumn(table.name(), *token_cols[i], b0, b1));
+        cols[i].offsets = std::move(tc.offsets);
+        cols[i].occ.reserve(tc.tokens.size() + kPrefetchDist);
+        fs.token_occurrences += tc.tokens.size();
+        const auto resolved = [&](uint32_t id) -> ResolvedColumn::Occ {
+          const TokenResolver::Entry& e = resolver.entry(id);
+          return {e.embedding_id == Embedding::kInvalidId
+                      ? nullptr
+                      : s.embedding.RowPtr(e.embedding_id),
+                  e.weight};
+        };
+        if (!tc.dict_ids.empty()) {
+          // Dictionary-encoded (binned) column: resolve each distinct dict
+          // entry once, then map occurrences by array index — no hashing.
+          std::vector<ResolvedColumn::Occ> dict_occ(tc.dict.size());
+          for (size_t d = 0; d < tc.dict.size(); ++d) {
+            dict_occ[d] = resolved(resolver.Intern(tc.dict[d]));
+          }
+          for (const uint32_t d : tc.dict_ids) {
+            cols[i].occ.push_back(dict_occ[d]);
+          }
+        } else {
+          for (const std::string_view token : tc.tokens) {
+            cols[i].occ.push_back(resolved(resolver.Intern(token)));
+          }
         }
-        for (const uint32_t d : tc.dict_ids) {
-          cols[i].occ.push_back(dict_occ[d]);
-        }
-      } else {
-        for (const std::string_view token : tc.tokens) {
-          cols[i].occ.push_back(resolved(resolver.Intern(token)));
-        }
+        // Pad so the gather's look-ahead prefetch never needs a bounds check.
+        cols[i].occ.resize(cols[i].occ.size() + kPrefetchDist,
+                           ResolvedColumn::Occ{nullptr, 0.0});
       }
-      // Pad so the gather's look-ahead prefetch never needs a bounds check.
-      cols[i].occ.resize(cols[i].occ.size() + kPrefetchDist,
-                         ResolvedColumn::Occ{nullptr, 0.0});
+      // Per-batch deltas of the cache's monotonic lifetime totals: they sum
+      // to the call's cost even across evictions, and stay per-call accurate
+      // because the lock spans the whole resolve phase.
+      fs.distinct_tokens += resolver.stats().distinct - stats_before.distinct;
+      fs.store_lookups +=
+          resolver.stats().store_lookups - stats_before.store_lookups;
     }
 
     // Phase 2 (parallel): blocked gather straight into the dataset matrix.
@@ -429,18 +471,17 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
       }
       if (rows_in_graph) {
         for (size_t r = begin; r < end; ++r) {
-          const double* src = embedding_.RowPtr(row_ids[r]);
+          const double* src = s.embedding.RowPtr(row_ids[r]);
           std::copy(src, src + dim, ds.x.RowPtr(r));
         }
       }
     });
   }
-  // Per-call deltas: the cache's lifetime totals minus the snapshot taken at
-  // entry, so warm calls correctly report zero new store probes.
-  featurize_stats_.distinct_tokens =
-      resolver.stats().distinct - stats_before.distinct;
-  featurize_stats_.store_lookups =
-      resolver.stats().store_lookups - stats_before.store_lookups;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    featurize_stats_ = fs;
+    profile_.Add("featurize", call_timer.ElapsedSeconds());
+  }
   return ds;
 }
 
@@ -448,13 +489,18 @@ Result<MLDataset> LevaPipeline::FeaturizeLegacy(const Table& table,
                                                 const std::string& target_column,
                                                 const TargetEncoder& encoder,
                                                 bool rows_in_graph) const {
-  if (!fitted_) return Status::FailedPrecondition("pipeline is not fitted");
+  const std::shared_ptr<const ServingState> state =
+      serving_.load();
+  if (state == nullptr) {
+    return Status::FailedPrecondition("pipeline is not fitted");
+  }
+  const ServingState& s = *state;
   LEVA_ASSIGN_OR_RETURN(const size_t target_idx,
                         table.ColumnIndex(target_column));
 
-  const size_t dim = embedding_.dim();
+  const size_t dim = s.embedding.dim();
   const size_t width =
-      config_.featurization == Featurization::kRowPlusValue ? 2 * dim : dim;
+      s.config.featurization == Featurization::kRowPlusValue ? 2 * dim : dim;
 
   MLDataset ds;
   ds.classification = encoder.classification();
@@ -466,7 +512,7 @@ Result<MLDataset> LevaPipeline::FeaturizeLegacy(const Table& table,
   for (size_t r = 0; r < table.NumRows(); ++r) {
     LEVA_ASSIGN_OR_RETURN(
         const std::vector<double> vec,
-        RowVector(table, r, target_column, rows_in_graph));
+        RowVectorImpl(s, table, r, target_column, rows_in_graph));
     for (size_t j = 0; j < width; ++j) ds.x(r, j) = vec[j];
     LEVA_ASSIGN_OR_RETURN(ds.y[r], encoder.Encode(table.at(r, target_idx)));
   }

@@ -1,11 +1,15 @@
 #ifndef LEVA_CORE_PIPELINE_H_
 #define LEVA_CORE_PIPELINE_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/io.h"
 #include "common/result.h"
+#include "common/storage.h"
 #include "common/timer.h"
 #include "core/token_resolver.h"
 #include "embed/embedding.h"
@@ -74,16 +78,147 @@ struct FeaturizeStats {
   size_t store_lookups = 0;
 };
 
+/// How LoadSnapshot/ReloadSnapshot materialize a snapshot's bulk arrays
+/// (the embedding matrix and the graph's CSR adjacency).
+struct SnapshotLoadOptions {
+  /// Map the snapshot file (Env::NewMmapReadableFile) and serve the bulk
+  /// arrays as zero-copy views into it, instead of copying them onto the
+  /// heap. Load cost becomes O(metadata) and N processes serving the same
+  /// snapshot share one physical copy of its pages.
+  bool use_mmap = false;
+  /// Verify the per-page CRCs of every bulk section (and the components'
+  /// structural invariants) at load time. Touches every page — O(model
+  /// size) — so the zero-copy fast path turns it off and relies on the
+  /// save-time page checksums staying valid on disk; VerifyStorage() runs
+  /// the deferred check on demand.
+  bool verify_pages = true;
+};
+
 /// The Leva system (Fig. 2): textification -> graph construction ->
 /// refinement -> embedding construction -> deployment. Fit consumes the
 /// whole database (which must contain the Base Table, minus any held-out
 /// test rows); Featurize turns Base-Table slices into training datasets.
+///
+/// Concurrency: Featurize (and FeaturizeLegacy/RowVector) may be called from
+/// any number of threads concurrently, and concurrently with ReloadSnapshot
+/// and set_serving_options. Each call snapshots the current fitted model (an
+/// atomically published, immutable ServingState) at entry and runs against
+/// it to completion, so a reload mid-call never mixes models. Fit and
+/// LoadSnapshot require external exclusion (they reset profiling and the
+/// serving knobs); accessors returning references (embedding(), graph(),
+/// textifier()) are valid until the next successful Fit/Load/ReloadSnapshot.
+/// The publication point for an immutable, shared model: writers swap in a
+/// fresh shared_ptr, readers pin whatever is current and keep it alive for
+/// the duration of their call (RCU by refcount). Semantically this is
+/// std::atomic<std::shared_ptr<T>>, but libstdc++ 12's _Sp_atomic unlocks
+/// its spinlock with relaxed ordering in load(), which ThreadSanitizer
+/// reports as a race against store(); a plain mutex around the two-refcount
+/// critical section has identical semantics, is sanitizer-clean, and is
+/// invisible next to the cost of a Featurize call.
+template <typename T>
+class SharedPtrSlot {
+ public:
+  SharedPtrSlot() = default;
+
+  std::shared_ptr<T> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  void store(std::shared_ptr<T> next) {
+    // Swap under the lock, destroy outside it: a retired model's destructor
+    // (potentially unmapping gigabytes) must not stall concurrent pins.
+    std::shared_ptr<T> retired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      retired = std::move(state_);
+      state_ = std::move(next);
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> state_;
+};
+
 class LevaPipeline {
  public:
-  explicit LevaPipeline(LevaConfig config = {}) : config_(std::move(config)) {}
+  explicit LevaPipeline(LevaConfig config = {})
+      : config_(std::move(config)),
+        serving_threads_(config_.threads),
+        serving_batch_(config_.featurize_batch_size) {}
+
+  // Copies (and moves) share the fitted model: it is immutable once
+  // published, so both pipelines serve identical results and the resolver
+  // cache stays warm across the copy. Not safe concurrently with writes to
+  // the source's stats (i.e. an in-flight Featurize on it).
+  LevaPipeline(const LevaPipeline& other)
+      : config_(other.config_),
+        serving_threads_(
+            other.serving_threads_.load(std::memory_order_relaxed)),
+        serving_batch_(other.serving_batch_.load(std::memory_order_relaxed)),
+        profile_(other.profile_),
+        featurize_stats_(other.featurize_stats_) {
+    serving_.store(other.serving_.load());
+  }
+  LevaPipeline& operator=(const LevaPipeline& other) {
+    if (this == &other) return *this;
+    config_ = other.config_;
+    serving_threads_.store(
+        other.serving_threads_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    serving_batch_.store(other.serving_batch_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    profile_ = other.profile_;
+    featurize_stats_ = other.featurize_stats_;
+    serving_.store(other.serving_.load());
+    return *this;
+  }
+  LevaPipeline(LevaPipeline&& other) noexcept
+      : LevaPipeline(static_cast<const LevaPipeline&>(other)) {}
+  LevaPipeline& operator=(LevaPipeline&& other) noexcept {
+    return *this = static_cast<const LevaPipeline&>(other);
+  }
+
+  /// One page-aligned bulk section of an open snapshot: where its payload
+  /// lives in the file and the CRC32C of each of its (padded) pages, kept so
+  /// a lazily loaded model can be re-verified on demand (VerifyStorage).
+  struct BulkPages {
+    std::string name;
+    size_t file_offset = 0;
+    size_t page_size = 0;
+    size_t payload_len = 0;  // unpadded bytes
+    std::vector<uint32_t> page_crcs;
+  };
+
+  /// The immutable fitted model plus its warm serving cache — everything a
+  /// Featurize call needs. Published through an atomic shared_ptr: readers
+  /// pin the state they started with, ReloadSnapshot swaps in a fresh one,
+  /// and the old model (and any snapshot mapping backing it) is torn down
+  /// when the last in-flight call drops its reference.
+  struct ServingState {
+    LevaConfig config;  // the configuration the model was fitted under
+    Textifier textifier;
+    LevaGraph graph;
+    Embedding embedding;
+    EmbeddingMethod chosen = EmbeddingMethod::kAuto;
+    // Pure function of (dim, featurization); rendered once at publish time.
+    std::vector<std::string> feature_names;
+    // Set only for mmap-backed loads: the mapping the stores borrow from,
+    // and the page-CRC table for deferred verification.
+    std::shared_ptr<const MappedRegion> region;
+    std::vector<BulkPages> bulk_pages;
+    // Serving-side token cache shared across Featurize calls on this model.
+    // Resolution is a pure function of the stores above, so the cache lives
+    // (and dies) with them. Guarded: the sequential resolve phase of each
+    // batch runs under the mutex; the parallel gather phase only reads.
+    mutable std::mutex resolver_mu;
+    mutable TokenResolver resolver{nullptr, nullptr, false};
+  };
 
   /// Runs stages 1-4 over `db`. Test data must not be part of `db`
-  /// (Section 2.4).
+  /// (Section 2.4). Builds the whole model off to the side and publishes it
+  /// only on success: a failed Fit leaves the previous model serving.
   Status Fit(const Database& db);
 
   /// Deploys the embedding on `table` (stage 5). When `rows_in_graph` is
@@ -96,13 +231,13 @@ class LevaPipeline {
   /// This is the batched serving fast path: columns are textified in one
   /// pass per batch (Textifier::TransformColumn), each distinct token is
   /// resolved to (embedding row id, inverse-degree weight) once across the
-  /// pipeline's lifetime (a persistent TokenResolver cache — resolution is a
+  /// model's lifetime (a persistent TokenResolver cache — resolution is a
   /// pure function of the fitted stores), and rows are gathered into the
   /// MLDataset matrix by a cache-blocked ParallelFor with no per-row
   /// allocation. Output is bit-identical to FeaturizeLegacy at any thread
   /// count / batch size. Records a "featurize" stage in profile() and
-  /// updates featurize_stats() and the resolver cache, so calls on the same
-  /// pipeline must not overlap.
+  /// updates featurize_stats(); safe to call concurrently (see the class
+  /// comment), though the stats then reflect whichever call finished last.
   Result<MLDataset> Featurize(const Table& table,
                               const std::string& target_column,
                               const TargetEncoder& encoder,
@@ -121,67 +256,107 @@ class LevaPipeline {
                                         const std::string& target_column,
                                         bool rows_in_graph) const;
 
-  const Embedding& embedding() const { return embedding_; }
-  const LevaGraph& graph() const { return graph_; }
-  const Textifier& textifier() const { return textifier_; }
-  EmbeddingMethod chosen_method() const { return chosen_; }
+  const Embedding& embedding() const { return state_or_empty().embedding; }
+  const LevaGraph& graph() const { return state_or_empty().graph; }
+  const Textifier& textifier() const { return state_or_empty().textifier; }
+  EmbeddingMethod chosen_method() const { return state_or_empty().chosen; }
   /// Wall-clock per pipeline stage (Fig. 6b/6c), including the serving-side
   /// "featurize" stage accumulated across Featurize calls.
   const StageProfile& profile() const { return profile_; }
   /// Resolver hit counts from the most recent Featurize call.
   const FeaturizeStats& featurize_stats() const { return featurize_stats_; }
+  /// The configuration this pipeline was constructed with (Fit's recipe);
+  /// replaced wholesale by LoadSnapshot. Serving-knob overrides applied via
+  /// set_serving_options are tracked separately and not reflected here.
   const LevaConfig& config() const { return config_; }
 
-  /// Retunes the serving-only knobs after Fit (they never affect the fitted
-  /// state, only how Featurize schedules its work).
+  /// Retunes the serving-only knobs (they never affect the fitted state,
+  /// only how Featurize schedules its work). Safe to call while Featurize
+  /// runs: calls already in flight keep their scheduling, later calls pick
+  /// up the new values.
   void set_serving_options(size_t threads, size_t featurize_batch_size) {
-    config_.threads = threads;
-    config_.featurize_batch_size = featurize_batch_size;
+    serving_threads_.store(threads, std::memory_order_relaxed);
+    serving_batch_.store(featurize_batch_size, std::memory_order_relaxed);
   }
 
   /// Writes the whole fitted pipeline (config, textifier, graph, embedding,
-  /// warm resolver cache) to `path` as one versioned, per-section-checksummed
-  /// snapshot, crash-atomically: the bytes land under a temp name and are
-  /// fsync'ed before a rename over `path`, so a crash at any point leaves
-  /// either the previous snapshot or the new one — never a torn file. A
+  /// warm resolver cache) to `path` as one versioned, checksummed snapshot,
+  /// crash-atomically: the bytes land under a temp name and are fsync'ed
+  /// before a rename over `path`, so a crash at any point leaves either the
+  /// previous snapshot or the new one — never a torn file. The big arrays
+  /// (embedding matrix, CSR adjacency) are written as page-aligned bulk
+  /// sections with per-page CRC32C so a loader can mmap them in place. A
   /// loaded snapshot serves Featurize bit-identically to this pipeline.
   /// `env` defaults to the real filesystem; tests pass a FaultInjectionEnv.
   Status SaveSnapshot(const std::string& path, Env* env = nullptr) const;
 
   /// Restores a pipeline saved by SaveSnapshot, replacing this pipeline's
   /// state and marking it fitted (serving can skip Fit entirely). Every
-  /// section checksum, the format version, and the structural invariants of
-  /// each component are validated before any member is touched: a corrupt,
-  /// truncated, or version-skewed file is rejected with a descriptive error
-  /// and the pipeline is left exactly as it was.
-  Status LoadSnapshot(const std::string& path, Env* env = nullptr);
+  /// checksum (per-page for bulk sections), the format version, and — when
+  /// `options.verify_pages` — the structural invariants of each component
+  /// are validated before any member is touched: a corrupt, truncated, or
+  /// version-skewed file is rejected with a descriptive error and the
+  /// pipeline is left exactly as it was. Also resets profiling/stats and
+  /// the serving knobs to the snapshot's configuration, so it requires the
+  /// same external exclusion as Fit; use ReloadSnapshot to swap models
+  /// under live traffic.
+  Status LoadSnapshot(const std::string& path, Env* env = nullptr,
+                      SnapshotLoadOptions options = {});
 
-  /// Snapshot format version written by SaveSnapshot.
-  static constexpr uint32_t kSnapshotVersion = 1;
+  /// Hot model swap: loads `path` into a shadow model and atomically
+  /// publishes it. Featurize calls already in flight finish on the model
+  /// they started with; calls entering afterwards see the new one. Nothing
+  /// else on the pipeline is touched — profiling keeps accumulating and the
+  /// serving knobs keep their current values. On error the previous model
+  /// keeps serving untouched.
+  Status ReloadSnapshot(const std::string& path, Env* env = nullptr,
+                        SnapshotLoadOptions options = {});
+
+  /// Verifies the per-page CRCs of the currently served model's mapped bulk
+  /// sections — the check a lazy load (verify_pages = false) deferred.
+  /// Returns OK for a model with no mapped storage (fitted, or loaded by
+  /// copy). Names the section and page index of the first mismatch.
+  Status VerifyStorage() const;
+
+  /// True when the served model's bulk arrays are views into a mapped
+  /// snapshot region rather than owned heap copies.
+  bool uses_mmap() const {
+    const std::shared_ptr<const ServingState> s = serving_.load();
+    return s != nullptr && s->region != nullptr;
+  }
+
+  /// Snapshot format version written by SaveSnapshot. Version 2 introduced
+  /// page-aligned, per-page-checksummed bulk sections (mmap-able); version 1
+  /// files are rejected with an error naming both versions.
+  static constexpr uint32_t kSnapshotVersion = 2;
 
  private:
   // Mean of the value-node embeddings of `tokens` into `out` (zeros when no
   // token is known).
-  void ComposeFromTokens(const std::vector<std::string>& tokens,
+  void ComposeFromTokens(const ServingState& s,
+                         const std::vector<std::string>& tokens,
                          std::vector<double>* out) const;
+  Result<std::vector<double>> RowVectorImpl(const ServingState& s,
+                                            const Table& table, size_t row,
+                                            const std::string& target_column,
+                                            bool rows_in_graph) const;
+
+  /// The published model, or a static empty state so accessors on an
+  /// unfitted pipeline return empty components instead of crashing.
+  const ServingState& state_or_empty() const;
 
   LevaConfig config_;
-  Textifier textifier_;
-  LevaGraph graph_;
-  Embedding embedding_;
-  EmbeddingMethod chosen_ = EmbeddingMethod::kAuto;
-  // Mutable so const Featurize can account its "featurize" stage; updated on
-  // the calling thread only.
+  // The fitted model. Null until the first successful Fit/LoadSnapshot.
+  SharedPtrSlot<const ServingState> serving_;
+  // Serving knobs, split out of config_ so set_serving_options can retune
+  // them while Featurize calls are in flight.
+  std::atomic<size_t> serving_threads_;
+  std::atomic<size_t> serving_batch_;
+  // Guards the profile/stats accumulators against concurrent Featurize
+  // calls. Fit writes profile_ without the lock (it requires exclusion).
+  mutable std::mutex stats_mu_;
   mutable StageProfile profile_;
   mutable FeaturizeStats featurize_stats_;
-  // Serving-side token cache shared across Featurize calls. Rebuilt whenever
-  // its store pointers no longer match this pipeline's members (fresh
-  // pipeline, copy, move) and reset by Fit; bounded by an eviction cap.
-  mutable TokenResolver resolver_cache_{nullptr, nullptr, false};
-  // Feature names are a pure function of (dim, width); built once and copied
-  // into each MLDataset instead of re-rendering ~2*dim strings per call.
-  mutable std::vector<std::string> feature_names_cache_;
-  bool fitted_ = false;
 };
 
 }  // namespace leva

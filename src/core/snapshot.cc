@@ -1,27 +1,45 @@
 // Versioned, checksummed snapshots of a fitted LevaPipeline.
 //
-// File layout (all integers little-endian, see common/io.h):
+// Format v2 layout (all integers little-endian, see common/io.h):
 //
-//   [8]  magic "LEVASNP1"
-//   [4]  u32 format version
-//   [4]  u32 config hash        crc32c of the "config" section payload
-//   [4]  u32 section count
-//   per section:
-//        string  name           (u64 length + bytes)
-//        u64     payload length
-//        u32     payload crc32c
-//        [...]   payload
-//   [4]  u32 file crc32c        over every byte above
+//   manifest:
+//     [8]  magic "LEVASNP1"
+//     [4]  u32 format version (2)
+//     [4]  u32 config hash       crc32c of the "config" section payload
+//     [4]  u32 section count
+//     per section:
+//       string  name             (u64 length + bytes)
+//       u8      kind             0 = inline, 1 = bulk
+//       kind 0: u64 payload length, u32 payload crc32c, payload bytes
+//       kind 1: u64 payload length, u64 file offset, u64 page size,
+//               u32 crc32c per page (ceil(length / page size) of them,
+//               each computed over the full zero-padded page)
+//     [4]  u32 manifest crc32c   over every manifest byte above
+//   zero padding to the next page boundary
+//   bulk payloads, in manifest order, each starting page-aligned and
+//   zero-padded to a page multiple
 //
-// The trailing file CRC catches truncation and bit flips anywhere; the
-// per-section CRCs additionally localize which component is damaged, and the
-// header's config hash ties the manifest to the exact configuration the
-// artifact was fitted under. Unknown *extra* sections are ignored on load so
+// Inline sections carry the metadata (config, textifier, graph/embedding
+// key tables, resolver cache); bulk sections carry the big arrays — the
+// embedding matrix and the graph's CSR adjacency — whose on-disk bytes are
+// exactly their in-memory layout, so a loader can mmap the file and serve
+// them in place (O(pages touched) load, page-cache sharing across
+// processes). Every byte of the file is covered by a checksum or required
+// to be zero: the manifest by the manifest CRC, inline payloads by their
+// section CRCs, bulk payloads (padding included) by their per-page CRCs,
+// and inter-section gaps by an explicit zero check — so heap loads detect
+// any bit flip or truncation, while mmap loads can defer the per-page work
+// (SnapshotLoadOptions::verify_pages) and still localize damage to a page
+// when they do verify. Unknown *extra* sections are ignored on load so
 // version N readers accept version N writers that learned new optional
 // sections without a format break; missing required sections are an error.
+#include <algorithm>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/io.h"
 #include "common/parallel.h"
@@ -32,6 +50,14 @@ namespace {
 
 constexpr char kMagic[8] = {'L', 'E', 'V', 'A', 'S', 'N', 'P', '1'};
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 3 * sizeof(uint32_t);
+// Bulk payload alignment and checksum granularity. 4 KiB matches the page
+// size everywhere we run; a mapped load touches whole pages anyway, so finer
+// CRC granularity would buy nothing.
+constexpr uint64_t kPageSize = 4096;
+// Parse guard: a corrupt section count must not turn into a huge loop.
+constexpr uint32_t kMaxSections = 64;
+
+uint64_t RoundUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
 
 void SaveConfig(const LevaConfig& c, BufferWriter* out) {
   out->PutU64(c.textify.bin_count);
@@ -171,65 +197,115 @@ Status LoadConfig(BufferReader* in, LevaConfig* c) {
   return Status::OK();
 }
 
-void AppendSection(const std::string& name, const std::string& payload,
-                   BufferWriter* file) {
+void AppendInlineSection(const std::string& name, const std::string& payload,
+                         BufferWriter* file) {
   file->PutString(name);
+  file->PutU8(0);  // kind: inline
   file->PutU64(payload.size());
   file->PutU32(Crc32c(payload));
   file->PutBytes(payload.data(), payload.size());
 }
 
-}  // namespace
+// One page-aligned raw array on its way into a snapshot.
+struct BulkSpec {
+  const char* name;
+  const char* data;
+  uint64_t len;  // unpadded bytes
+  std::vector<uint32_t> page_crcs;
+};
 
-Status LevaPipeline::SaveSnapshot(const std::string& path, Env* env) const {
-  if (!fitted_) {
-    return Status::FailedPrecondition(
-        "cannot snapshot an unfitted pipeline: call Fit first");
+template <typename T>
+BulkSpec MakeBulk(const char* name, ArrayView<T> view) {
+  BulkSpec b;
+  b.name = name;
+  b.data = reinterpret_cast<const char*>(view.data());
+  b.len = view.size() * sizeof(T);
+  const uint64_t pages = (b.len + kPageSize - 1) / kPageSize;
+  b.page_crcs.reserve(pages);
+  // Each CRC covers a full padded page: the zeros that pad the final page
+  // on disk are folded in here, so the padding itself is tamper-evident.
+  static const std::string zeros(kPageSize, '\0');
+  for (uint64_t p = 0; p < pages; ++p) {
+    const uint64_t take = std::min<uint64_t>(kPageSize, b.len - p * kPageSize);
+    uint32_t crc = Crc32c(b.data + p * kPageSize, take);
+    if (take < kPageSize) crc = Crc32c(zeros.data(), kPageSize - take, crc);
+    b.page_crcs.push_back(crc);
   }
-  if (env == nullptr) env = Env::Default();
-
-  BufferWriter config;
-  SaveConfig(config_, &config);
-  BufferWriter textifier;
-  textifier_.Save(&textifier);
-  BufferWriter graph;
-  graph_.Save(&graph);
-  BufferWriter embedding;
-  embedding_.Save(&embedding);
-  BufferWriter meta;
-  meta.PutU8(static_cast<uint8_t>(chosen_));
-  // The warm serving cache rides along only when it still belongs to these
-  // stores (it always does on a freshly fitted pipeline; a moved-from or
-  // copied pipeline has a stale one that Featurize would rebuild anyway).
-  BufferWriter resolver;
-  const bool resolver_valid = resolver_cache_.embedding() == &embedding_ &&
-                              resolver_cache_.graph() == &graph_ &&
-                              resolver_cache_.weighted() ==
-                                  config_.graph.weighted;
-  TokenResolver empty(nullptr, nullptr, false);
-  (resolver_valid ? resolver_cache_ : empty).Save(&resolver);
-
-  BufferWriter file;
-  file.PutBytes(kMagic, sizeof(kMagic));
-  file.PutU32(kSnapshotVersion);
-  file.PutU32(Crc32c(config.data()));  // manifest: config hash
-  file.PutU32(6);                      // section count
-  AppendSection("config", config.data(), &file);
-  AppendSection("meta", meta.data(), &file);
-  AppendSection("textifier", textifier.data(), &file);
-  AppendSection("graph", graph.data(), &file);
-  AppendSection("embedding", embedding.data(), &file);
-  // The resolver section is optional on load (a cold cache is functionally
-  // identical) but still CRC-framed like every other section.
-  AppendSection("resolver", resolver.data(), &file);
-  file.PutU32(Crc32c(file.data()));  // file CRC: the genuinely final bytes
-
-  return AtomicWriteFile(env, path, file.data());
+  return b;
 }
 
-Status LevaPipeline::LoadSnapshot(const std::string& path, Env* env) {
-  if (env == nullptr) env = Env::Default();
-  LEVA_ASSIGN_OR_RETURN(const std::string bytes, env->ReadFileToString(path));
+// A bulk section as parsed back out of a manifest.
+struct BulkRef {
+  std::string name;
+  uint64_t len = 0;
+  uint64_t offset = 0;
+  uint64_t page_size = 0;
+  std::vector<uint32_t> page_crcs;
+};
+
+// Materializes bulk section `name` as a typed array: a zero-copy borrow of
+// the region when mapping is requested and the bytes are suitably aligned,
+// an owned heap copy otherwise.
+template <typename T>
+Result<OwnedOrMapped<T>> TakeBulk(const std::string& path,
+                                  const std::vector<BulkRef>& bulks,
+                                  const char* name,
+                                  const std::shared_ptr<const MappedRegion>&
+                                      region,
+                                  bool borrow) {
+  const BulkRef* ref = nullptr;
+  for (const BulkRef& b : bulks) {
+    if (b.name == name) {
+      ref = &b;
+      break;
+    }
+  }
+  if (ref == nullptr) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' is missing required bulk section '" +
+                                   std::string(name) + "'");
+  }
+  if (ref->len % sizeof(T) != 0) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' bulk section '" + std::string(name) +
+        "' holds " + std::to_string(ref->len) + " byte(s), not a multiple of " +
+        std::to_string(sizeof(T)));
+  }
+  const char* bytes = region->data() + ref->offset;
+  const size_t count = ref->len / sizeof(T);
+  if (borrow &&
+      reinterpret_cast<uintptr_t>(bytes) % alignof(T) == 0) {
+    return OwnedOrMapped<T>::Mapped(region,
+                                    reinterpret_cast<const T*>(bytes), count);
+  }
+  std::vector<T> owned(count);
+  std::memcpy(owned.data(), bytes, ref->len);
+  return OwnedOrMapped<T>(std::move(owned));
+}
+
+std::vector<std::string> RenderFeatureNames(size_t dim, size_t width) {
+  std::vector<std::string> names;
+  names.reserve(width);
+  for (size_t j = 0; j < dim; ++j) names.push_back("emb" + std::to_string(j));
+  if (width == 2 * dim) {
+    for (size_t j = 0; j < dim; ++j) names.push_back("val" + std::to_string(j));
+  }
+  return names;
+}
+
+// Parses and validates a whole snapshot out of `region` into a fresh
+// ServingState. Everything is validated before the state is returned, so a
+// corrupt file can never yield a partially loaded model.
+Result<std::shared_ptr<LevaPipeline::ServingState>> LoadState(
+    const std::string& path, Env* env, SnapshotLoadOptions options) {
+  std::shared_ptr<const MappedRegion> region;
+  if (options.use_mmap) {
+    LEVA_ASSIGN_OR_RETURN(region, env->NewMmapReadableFile(path));
+  } else {
+    LEVA_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+    region = MappedRegion::FromString(std::move(bytes));
+  }
+  const std::string_view bytes(region->data(), region->size());
 
   if (bytes.size() < kHeaderBytes + sizeof(uint32_t)) {
     return Status::InvalidArgument(
@@ -241,52 +317,150 @@ Status LevaPipeline::LoadSnapshot(const std::string& path, Env* env) {
     return Status::InvalidArgument("'" + path +
                                    "' is not a Leva snapshot (bad magic)");
   }
-  // Whole-file integrity first: any truncation or bit flip anywhere is
-  // caught here before any section is interpreted.
-  uint32_t stored_file_crc = 0;
-  std::memcpy(&stored_file_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
-              sizeof(uint32_t));
-  const uint32_t actual_file_crc =
-      Crc32c(bytes.data(), bytes.size() - sizeof(uint32_t));
-  if (stored_file_crc != actual_file_crc) {
-    return Status::InvalidArgument(
-        "snapshot '" + path + "' failed its file checksum (stored " +
-        std::to_string(stored_file_crc) + ", computed " +
-        std::to_string(actual_file_crc) + "): corrupt or torn write");
+  BufferReader reader(bytes);
+  {
+    std::string_view skip;
+    LEVA_RETURN_IF_ERROR(reader.GetBytes(sizeof(kMagic), &skip));
   }
-
-  BufferReader reader(
-      std::string_view(bytes).substr(sizeof(kMagic),
-                                     bytes.size() - sizeof(kMagic) -
-                                         sizeof(uint32_t)));
+  // Version skew must be reported as such — before any checksum math, whose
+  // layout the version itself defines. Version 1 files (element-wise
+  // serialized arrays, whole-file trailing CRC) are not readable by this
+  // build; the error names both versions so the fix is obvious.
   uint32_t version = 0;
-  uint32_t config_hash = 0;
-  uint32_t section_count = 0;
   LEVA_RETURN_IF_ERROR(reader.GetU32(&version));
-  if (version != kSnapshotVersion) {
+  if (version != LevaPipeline::kSnapshotVersion) {
     return Status::InvalidArgument(
         "snapshot '" + path + "' has format version " +
-        std::to_string(version) + "; this build reads version " +
-        std::to_string(kSnapshotVersion));
+        std::to_string(version) + "; this build reads format version " +
+        std::to_string(LevaPipeline::kSnapshotVersion) +
+        (version < LevaPipeline::kSnapshotVersion
+             ? " — re-save the model with this build to upgrade it"
+             : ""));
   }
+  uint32_t config_hash = 0;
+  uint32_t section_count = 0;
   LEVA_RETURN_IF_ERROR(reader.GetU32(&config_hash));
   LEVA_RETURN_IF_ERROR(reader.GetU32(&section_count));
+  if (section_count > kMaxSections) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' declares an implausible " +
+                                   std::to_string(section_count) +
+                                   " sections: corrupt manifest");
+  }
 
   std::unordered_map<std::string, std::string_view> sections;
+  std::vector<BulkRef> bulks;
   for (uint32_t i = 0; i < section_count; ++i) {
     std::string name;
+    uint8_t kind = 0;
     uint64_t len = 0;
-    uint32_t crc = 0;
     LEVA_RETURN_IF_ERROR(reader.GetString(&name));
+    LEVA_RETURN_IF_ERROR(reader.GetU8(&kind));
     LEVA_RETURN_IF_ERROR(reader.GetU64(&len));
-    LEVA_RETURN_IF_ERROR(reader.GetU32(&crc));
-    std::string_view payload;
-    LEVA_RETURN_IF_ERROR(reader.GetBytes(len, &payload));
-    if (Crc32c(payload) != crc) {
-      return Status::InvalidArgument("snapshot '" + path + "' section '" +
-                                     name + "' failed its checksum");
+    if (kind == 0) {
+      uint32_t crc = 0;
+      LEVA_RETURN_IF_ERROR(reader.GetU32(&crc));
+      std::string_view payload;
+      LEVA_RETURN_IF_ERROR(reader.GetBytes(len, &payload));
+      if (Crc32c(payload) != crc) {
+        return Status::InvalidArgument("snapshot '" + path + "' section '" +
+                                       name + "' failed its checksum");
+      }
+      sections.emplace(std::move(name), payload);
+    } else if (kind == 1) {
+      BulkRef b;
+      b.name = std::move(name);
+      b.len = len;
+      LEVA_RETURN_IF_ERROR(reader.GetU64(&b.offset));
+      LEVA_RETURN_IF_ERROR(reader.GetU64(&b.page_size));
+      if (b.page_size < 512 || b.page_size > (uint64_t{1} << 24) ||
+          (b.page_size & (b.page_size - 1)) != 0) {
+        return Status::InvalidArgument(
+            "snapshot '" + path + "' bulk section '" + b.name +
+            "' declares invalid page size " + std::to_string(b.page_size));
+      }
+      const uint64_t pages = (b.len + b.page_size - 1) / b.page_size;
+      // The CRC table is the bulk of the manifest (one u32 per 4 KiB of
+      // payload); decode it in one shot rather than per-entry.
+      std::string_view crc_bytes;
+      LEVA_RETURN_IF_ERROR(
+          reader.GetBytes(pages * sizeof(uint32_t), &crc_bytes));
+      b.page_crcs.resize(pages);
+      std::memcpy(b.page_crcs.data(), crc_bytes.data(), crc_bytes.size());
+      bulks.push_back(std::move(b));
+    } else {
+      return Status::InvalidArgument(
+          "snapshot '" + path + "' section '" + name +
+          "' has unknown kind " + std::to_string(kind));
     }
-    sections.emplace(std::move(name), payload);
+  }
+  uint32_t manifest_crc = 0;
+  LEVA_RETURN_IF_ERROR(reader.GetU32(&manifest_crc));
+  const size_t manifest_end = reader.position();
+  const uint32_t actual_manifest_crc =
+      Crc32c(bytes.data(), manifest_end - sizeof(uint32_t));
+  if (manifest_crc != actual_manifest_crc) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' failed its manifest checksum (stored " +
+        std::to_string(manifest_crc) + ", computed " +
+        std::to_string(actual_manifest_crc) + "): corrupt or torn write");
+  }
+
+  // Layout audit: bulk payloads must tile the rest of the file in manifest
+  // order — page-aligned, non-overlapping, with only zero bytes between the
+  // manifest (or a previous payload's padded end) and the next payload, and
+  // nothing after the last one. Combined with the manifest CRC above and the
+  // per-page CRCs below, this pins every byte of the file.
+  uint64_t cursor = manifest_end;
+  for (const BulkRef& b : bulks) {
+    if (b.offset % b.page_size != 0 || b.offset < cursor ||
+        b.offset > bytes.size()) {
+      return Status::InvalidArgument(
+          "snapshot '" + path + "' bulk section '" + b.name +
+          "' has a misplaced payload (offset " + std::to_string(b.offset) +
+          ")");
+    }
+    for (uint64_t i = cursor; i < b.offset; ++i) {
+      if (bytes[i] != '\0') {
+        return Status::InvalidArgument(
+            "snapshot '" + path + "' has non-zero padding at offset " +
+            std::to_string(i) + ": corrupt");
+      }
+    }
+    const uint64_t padded = RoundUp(b.len, b.page_size);
+    if (padded < b.len || b.offset + padded < b.offset ||
+        b.offset + padded > bytes.size()) {
+      return Status::InvalidArgument(
+          "snapshot '" + path + "' bulk section '" + b.name +
+          "' overruns the file (offset " + std::to_string(b.offset) +
+          ", length " + std::to_string(b.len) + ", file size " +
+          std::to_string(bytes.size()) + ")");
+    }
+    cursor = b.offset + padded;
+  }
+  if (cursor != bytes.size()) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has " +
+        std::to_string(bytes.size() - cursor) +
+        " trailing byte(s) past the last section: corrupt or truncated");
+  }
+
+  // Page verification — the O(model size) part a lazy mmap load defers to
+  // VerifyStorage(). Damage is localized to (section, page).
+  if (options.verify_pages) {
+    for (const BulkRef& b : bulks) {
+      for (size_t p = 0; p < b.page_crcs.size(); ++p) {
+        const uint32_t actual =
+            Crc32c(bytes.data() + b.offset + p * b.page_size, b.page_size);
+        if (actual != b.page_crcs[p]) {
+          return Status::InvalidArgument(
+              "snapshot '" + path + "' bulk section '" + b.name + "' page " +
+              std::to_string(p) + " (file offset " +
+              std::to_string(b.offset + p * b.page_size) +
+              ") failed its page checksum");
+        }
+      }
+    }
   }
 
   const auto section = [&](const char* name) -> Result<std::string_view> {
@@ -299,21 +473,19 @@ Status LevaPipeline::LoadSnapshot(const std::string& path, Env* env) {
     return it->second;
   };
 
-  // Parse and validate everything into locals; this pipeline's state is
-  // only replaced after the whole snapshot proves coherent.
+  auto state = std::make_shared<LevaPipeline::ServingState>();
+
   LEVA_ASSIGN_OR_RETURN(std::string_view config_bytes, section("config"));
   if (Crc32c(config_bytes) != config_hash) {
     return Status::InvalidArgument(
         "snapshot '" + path +
         "' config hash does not match its manifest header");
   }
-  LevaConfig config;
   {
     BufferReader in(config_bytes);
-    LEVA_RETURN_IF_ERROR(LoadConfig(&in, &config));
+    LEVA_RETURN_IF_ERROR(LoadConfig(&in, &state->config));
   }
 
-  EmbeddingMethod chosen;
   {
     LEVA_ASSIGN_OR_RETURN(std::string_view meta_bytes, section("meta"));
     BufferReader in(meta_bytes);
@@ -321,46 +493,228 @@ Status LevaPipeline::LoadSnapshot(const std::string& path, Env* env) {
     LEVA_RETURN_IF_ERROR(in.GetU8(&u8));
     LEVA_RETURN_IF_ERROR(CheckEnum(
         u8, static_cast<uint8_t>(EmbeddingMethod::kLine), "chosen method"));
-    chosen = static_cast<EmbeddingMethod>(u8);
+    state->chosen = static_cast<EmbeddingMethod>(u8);
   }
 
-  Textifier textifier;
   {
     LEVA_ASSIGN_OR_RETURN(std::string_view b, section("textifier"));
     BufferReader in(b);
-    LEVA_RETURN_IF_ERROR(textifier.Load(&in));
+    LEVA_RETURN_IF_ERROR(state->textifier.Load(&in));
   }
-  LevaGraph graph;
+
+  // The bulk arrays: zero-copy views for a mapped load, heap copies
+  // otherwise. The graph's structural walk is skipped exactly when page
+  // verification is skipped (both are the O(model) part of load); the page
+  // CRCs written at save time carry the guarantee in that mode.
+  LEVA_ASSIGN_OR_RETURN(
+      OwnedOrMapped<uint64_t> offsets,
+      TakeBulk<uint64_t>(path, bulks, "graph.offsets", region,
+                         options.use_mmap));
+  LEVA_ASSIGN_OR_RETURN(
+      OwnedOrMapped<NodeId> targets,
+      TakeBulk<NodeId>(path, bulks, "graph.targets", region,
+                       options.use_mmap));
+  LEVA_ASSIGN_OR_RETURN(
+      OwnedOrMapped<float> weights,
+      TakeBulk<float>(path, bulks, "graph.weights", region,
+                      options.use_mmap));
   {
     LEVA_ASSIGN_OR_RETURN(std::string_view b, section("graph"));
     BufferReader in(b);
-    LEVA_RETURN_IF_ERROR(graph.Load(&in));
+    LEVA_RETURN_IF_ERROR(state->graph.Load(
+        &in, std::move(offsets), std::move(targets), std::move(weights),
+        /*validate_structure=*/options.verify_pages));
   }
-  Embedding embedding;
+  LEVA_ASSIGN_OR_RETURN(
+      OwnedOrMapped<double> data,
+      TakeBulk<double>(path, bulks, "embedding.data", region,
+                       options.use_mmap));
   {
     LEVA_ASSIGN_OR_RETURN(std::string_view b, section("embedding"));
     BufferReader in(b);
-    LEVA_RETURN_IF_ERROR(embedding.Load(&in));
+    LEVA_RETURN_IF_ERROR(state->embedding.Load(&in, std::move(data)));
   }
 
-  // Everything validated: commit, then rebuild the derived serving state
-  // against the new stores' final addresses.
-  config_ = std::move(config);
-  textifier_ = std::move(textifier);
-  graph_ = std::move(graph);
-  embedding_ = std::move(embedding);
-  chosen_ = chosen;
-  profile_.Clear();
-  profile_.set_threads(ResolveThreads(config_.threads));
-  featurize_stats_ = FeaturizeStats{};
-  feature_names_cache_.clear();
-  resolver_cache_ =
-      TokenResolver(&embedding_, &graph_, config_.graph.weighted);
+  state->resolver = TokenResolver(&state->embedding, &state->graph,
+                                  state->config.graph.weighted);
   if (const auto it = sections.find("resolver"); it != sections.end()) {
     BufferReader in(it->second);
-    LEVA_RETURN_IF_ERROR(resolver_cache_.Load(&in));
+    LEVA_RETURN_IF_ERROR(state->resolver.Load(&in));
   }
-  fitted_ = true;
+
+  const size_t dim = state->embedding.dim();
+  const size_t width =
+      state->config.featurization == Featurization::kRowPlusValue ? 2 * dim
+                                                                  : dim;
+  state->feature_names = RenderFeatureNames(dim, width);
+
+  if (options.use_mmap) {
+    // Keep the mapping (the stores borrow from it) and the page-CRC table
+    // so VerifyStorage can run the deferred integrity check on demand.
+    state->region = std::move(region);
+    state->bulk_pages.reserve(bulks.size());
+    for (BulkRef& b : bulks) {
+      LevaPipeline::BulkPages pages;
+      pages.name = std::move(b.name);
+      pages.file_offset = b.offset;
+      pages.page_size = b.page_size;
+      pages.payload_len = b.len;
+      pages.page_crcs = std::move(b.page_crcs);
+      state->bulk_pages.push_back(std::move(pages));
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+Status LevaPipeline::SaveSnapshot(const std::string& path, Env* env) const {
+  const std::shared_ptr<const ServingState> state =
+      serving_.load();
+  if (state == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot snapshot an unfitted pipeline: call Fit first");
+  }
+  const ServingState& s = *state;
+  if (env == nullptr) env = Env::Default();
+
+  BufferWriter config;
+  SaveConfig(s.config, &config);
+  BufferWriter textifier;
+  s.textifier.Save(&textifier);
+  BufferWriter graph;
+  s.graph.Save(&graph);
+  BufferWriter embedding;
+  s.embedding.Save(&embedding);
+  BufferWriter meta;
+  meta.PutU8(static_cast<uint8_t>(s.chosen));
+  // The warm serving cache rides along; it resolves against the very stores
+  // serialized above, so it is always coherent with them. The section is
+  // optional on load (a cold cache is functionally identical) but still
+  // CRC-framed like every other section.
+  BufferWriter resolver;
+  {
+    std::lock_guard<std::mutex> lock(s.resolver_mu);
+    s.resolver.Save(&resolver);
+  }
+
+  // The big arrays leave as raw page-aligned bytes: their in-memory layout
+  // (little-endian, fixed-width) IS the on-disk format, so a loader can map
+  // them in place.
+  std::vector<BulkSpec> bulks;
+  bulks.push_back(MakeBulk<uint64_t>("graph.offsets", s.graph.offsets()));
+  bulks.push_back(MakeBulk<NodeId>("graph.targets", s.graph.targets()));
+  bulks.push_back(MakeBulk<float>("graph.weights", s.graph.edge_weights()));
+  bulks.push_back(MakeBulk<double>("embedding.data", s.embedding.data()));
+
+  const uint32_t config_hash = Crc32c(config.data());
+  const auto emit_manifest = [&](const std::vector<uint64_t>& offsets) {
+    BufferWriter m;
+    m.PutBytes(kMagic, sizeof(kMagic));
+    m.PutU32(kSnapshotVersion);
+    m.PutU32(config_hash);
+    m.PutU32(static_cast<uint32_t>(6 + bulks.size()));
+    AppendInlineSection("config", config.data(), &m);
+    AppendInlineSection("meta", meta.data(), &m);
+    AppendInlineSection("textifier", textifier.data(), &m);
+    AppendInlineSection("graph", graph.data(), &m);
+    AppendInlineSection("embedding", embedding.data(), &m);
+    AppendInlineSection("resolver", resolver.data(), &m);
+    for (size_t i = 0; i < bulks.size(); ++i) {
+      m.PutString(bulks[i].name);
+      m.PutU8(1);  // kind: bulk
+      m.PutU64(bulks[i].len);
+      m.PutU64(offsets[i]);
+      m.PutU64(kPageSize);
+      for (const uint32_t crc : bulks[i].page_crcs) m.PutU32(crc);
+    }
+    return m;
+  };
+
+  // Bulk offsets depend on the manifest's size, which is independent of the
+  // offset *values* (fixed-width u64s) — so lay out against a probe pass,
+  // then emit for real.
+  std::vector<uint64_t> offsets(bulks.size(), 0);
+  const size_t manifest_len =
+      emit_manifest(offsets).size() + sizeof(uint32_t);  // + manifest CRC
+  uint64_t cursor = RoundUp(manifest_len, kPageSize);
+  for (size_t i = 0; i < bulks.size(); ++i) {
+    offsets[i] = cursor;
+    cursor += RoundUp(bulks[i].len, kPageSize);
+  }
+  BufferWriter manifest = emit_manifest(offsets);
+  manifest.PutU32(Crc32c(manifest.data()));
+  manifest.AlignTo(kPageSize);
+
+  // Stream the manifest and the raw arrays straight to the temp file — the
+  // bulk payloads are never copied into an assembly buffer.
+  static const std::string zeros(kPageSize, '\0');
+  std::vector<std::string_view> chunks;
+  chunks.reserve(1 + 2 * bulks.size());
+  chunks.push_back(manifest.data());
+  for (const BulkSpec& b : bulks) {
+    if (b.len > 0) chunks.push_back(std::string_view(b.data, b.len));
+    const uint64_t pad = RoundUp(b.len, kPageSize) - b.len;
+    if (pad > 0) chunks.push_back(std::string_view(zeros.data(), pad));
+  }
+  return AtomicWriteChunks(env, path, chunks);
+}
+
+Status LevaPipeline::LoadSnapshot(const std::string& path, Env* env,
+                                  SnapshotLoadOptions options) {
+  if (env == nullptr) env = Env::Default();
+  LEVA_ASSIGN_OR_RETURN(std::shared_ptr<ServingState> state,
+                        LoadState(path, env, options));
+  // Full restore: the pipeline behaves as if it had been constructed with
+  // the snapshot's config and fitted. (ReloadSnapshot, by contrast, swaps
+  // only the model.)
+  config_ = state->config;
+  serving_threads_.store(config_.threads, std::memory_order_relaxed);
+  serving_batch_.store(config_.featurize_batch_size,
+                       std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    profile_.Clear();
+    profile_.set_threads(ResolveThreads(config_.threads));
+    featurize_stats_ = FeaturizeStats{};
+  }
+  serving_.store(std::move(state));
+  return Status::OK();
+}
+
+Status LevaPipeline::ReloadSnapshot(const std::string& path, Env* env,
+                                    SnapshotLoadOptions options) {
+  if (env == nullptr) env = Env::Default();
+  // The whole load runs against shadow state; nothing this pipeline serves
+  // is touched until the single atomic publish below. Featurize calls in
+  // flight hold shared_ptr references to the old state and finish on it; the
+  // old model (and any mmap region backing it) is destroyed when the last
+  // such reference drops.
+  LEVA_ASSIGN_OR_RETURN(std::shared_ptr<ServingState> state,
+                        LoadState(path, env, options));
+  serving_.store(std::move(state));
+  return Status::OK();
+}
+
+Status LevaPipeline::VerifyStorage() const {
+  const std::shared_ptr<const ServingState> state =
+      serving_.load();
+  if (state == nullptr) {
+    return Status::FailedPrecondition("pipeline is not fitted");
+  }
+  if (state->region == nullptr) return Status::OK();  // nothing mapped
+  const char* base = state->region->data();
+  for (const BulkPages& b : state->bulk_pages) {
+    for (size_t p = 0; p < b.page_crcs.size(); ++p) {
+      const uint32_t actual =
+          Crc32c(base + b.file_offset + p * b.page_size, b.page_size);
+      if (actual != b.page_crcs[p]) {
+        return Status::InvalidArgument(
+            "mapped snapshot bulk section '" + b.name + "' page " +
+            std::to_string(p) + " failed its page checksum");
+      }
+    }
+  }
   return Status::OK();
 }
 

@@ -17,12 +17,13 @@ Status Embedding::Put(const std::string& key, std::span<const double> vec) {
   }
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    std::copy(vec.begin(), vec.end(), data_.begin() + static_cast<ptrdiff_t>(it->second * dim_));
+    std::copy(vec.begin(), vec.end(),
+              data_.owned().begin() + static_cast<ptrdiff_t>(it->second * dim_));
     return Status::OK();
   }
   index_.emplace(key, keys_.size());
   keys_.push_back(key);
-  data_.insert(data_.end(), vec.begin(), vec.end());
+  data_.owned().insert(data_.owned().end(), vec.begin(), vec.end());
   return Status::OK();
 }
 
@@ -103,10 +104,9 @@ void Embedding::Save(BufferWriter* out) const {
   out->PutU64(dim_);
   out->PutU64(keys_.size());
   for (const std::string& key : keys_) out->PutString(key);
-  out->PutBytes(data_.data(), data_.size() * sizeof(double));
 }
 
-Status Embedding::Load(BufferReader* in) {
+Status Embedding::Load(BufferReader* in, OwnedOrMapped<double> data) {
   *this = Embedding();
   Embedding e;
   uint64_t dim = 0;
@@ -115,6 +115,7 @@ Status Embedding::Load(BufferReader* in) {
   LEVA_RETURN_IF_ERROR(in->GetU64(&count));
   e.dim_ = dim;
   e.keys_.reserve(count);
+  e.index_.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     std::string key;
     LEVA_RETURN_IF_ERROR(in->GetString(&key));
@@ -124,16 +125,19 @@ Status Embedding::Load(BufferReader* in) {
     }
     e.keys_.push_back(std::move(key));
   }
-  // Guard the size product against overflow before it reaches GetBytes.
+  // Guard the size product against overflow before comparing element counts.
   if (dim != 0 && count > SIZE_MAX / sizeof(double) / dim) {
     return Status::InvalidArgument("corrupt embedding: " +
                                    std::to_string(count) + " x " +
                                    std::to_string(dim) + " overflows");
   }
-  std::string_view raw;
-  LEVA_RETURN_IF_ERROR(in->GetBytes(count * dim * sizeof(double), &raw));
-  e.data_.resize(count * dim);
-  std::memcpy(e.data_.data(), raw.data(), raw.size());
+  if (data.size() != count * dim) {
+    return Status::InvalidArgument(
+        "corrupt embedding: vector block holds " +
+        std::to_string(data.size()) + " value(s), expected " +
+        std::to_string(count) + " x " + std::to_string(dim));
+  }
+  e.data_ = std::move(data);
   *this = std::move(e);
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 
 #include "common/io.h"
 #include "common/result.h"
+#include "common/storage.h"
 #include "common/string_util.h"
 
 namespace leva {
@@ -52,8 +53,13 @@ class Embedding {
 
   const std::vector<std::string>& keys() const { return keys_; }
 
-  /// Raw storage (size() x dim(), row-major), aligned with keys().
-  const std::vector<double>& data() const { return data_; }
+  /// Raw storage (size() x dim(), row-major), aligned with keys(). A view:
+  /// the bytes live either in owned heap memory (a fitted model) or in an
+  /// mmap'ed snapshot region (zero-copy load).
+  ArrayView<double> data() const { return data_.span(); }
+
+  /// True when the vector block is served straight from an mmap'ed snapshot.
+  bool mapped() const { return data_.mapped(); }
 
   /// Replaces every vector by its projection through `project`, changing the
   /// dimensionality (used by the PCA study of Table 7).
@@ -68,14 +74,17 @@ class Embedding {
   /// silently poison every downstream featurization.
   static Result<Embedding> FromText(const std::string& text);
 
-  /// Binary serialization for snapshots: keys plus the raw row-major vector
-  /// block, bit-exact (unlike the decimal ToText round trip).
+  /// Binary serialization for snapshots. Save writes only the *metadata*
+  /// (dim, count, keys); the raw row-major vector block is framed separately
+  /// by the snapshot layer as a page-aligned bulk section (see data()), so a
+  /// loader can map it instead of copying. Bit-exact, unlike ToText.
   void Save(BufferWriter* out) const;
 
-  /// Restores state written by Save, rebuilding the key index. Rejects
-  /// duplicate keys; vector bits are restored verbatim. On error the store
-  /// is left empty, never partially loaded.
-  Status Load(BufferReader* in);
+  /// Restores state written by Save, rebuilding the key index, and adopts
+  /// `data` — owned heap bytes or a borrowed mmap view — as the vector
+  /// block. Rejects duplicate keys and a block whose length does not match
+  /// dim * count. On error the store is left empty, never partially loaded.
+  Status Load(BufferReader* in, OwnedOrMapped<double> data);
 
   /// L1 distance between two vectors of equal length.
   static double L1Distance(std::span<const double> a, std::span<const double> b);
@@ -88,7 +97,10 @@ class Embedding {
                      std::equal_to<>>
       index_;
   std::vector<std::string> keys_;
-  std::vector<double> data_;
+  // The big read-only-in-serving array: owned while fitting (Put mutates),
+  // a borrowed page-cache view after an mmap snapshot load. Mutating an
+  // mmap-loaded store (Put, MapVectors) transparently detaches to a copy.
+  OwnedOrMapped<double> data_;
 };
 
 }  // namespace leva

@@ -47,10 +47,9 @@ void LevaGraph::Save(BufferWriter* out) const {
   out->PutU64(n);
   for (const NodeKind k : kinds_) out->PutU8(static_cast<uint8_t>(k));
   for (const std::string& l : labels_) out->PutString(l);
-  for (const size_t o : offsets_) out->PutU64(o);
+  // The CSR arrays themselves ride in separate bulk sections; the metadata
+  // records their expected lengths so a mismatched bulk payload is rejected.
   out->PutU64(targets_.size());
-  for (const NodeId t : targets_) out->PutU32(t);
-  for (const float w : weights_) out->PutFloat(w);
 
   std::vector<std::pair<std::string, std::pair<NodeId, size_t>>> rows(
       row_index_.begin(), row_index_.end());
@@ -71,7 +70,9 @@ void LevaGraph::Save(BufferWriter* out) const {
   out->PutU64(stats_.votes_dropped_lowevidence);
 }
 
-Status LevaGraph::Load(BufferReader* in) {
+Status LevaGraph::Load(BufferReader* in, OwnedOrMapped<uint64_t> offsets,
+                       OwnedOrMapped<NodeId> targets,
+                       OwnedOrMapped<float> weights, bool validate_structure) {
   *this = LevaGraph();
   LevaGraph g;
   uint64_t n = 0;
@@ -80,15 +81,21 @@ Status LevaGraph::Load(BufferReader* in) {
     return Status::InvalidArgument("corrupt graph: node count " +
                                    std::to_string(n) + " overflows NodeId");
   }
-  g.kinds_.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    uint8_t k = 0;
-    LEVA_RETURN_IF_ERROR(in->GetU8(&k));
-    if (k > static_cast<uint8_t>(NodeKind::kValue)) {
-      return Status::InvalidArgument("corrupt graph: bad node kind " +
-                                     std::to_string(k));
+  {
+    // One kind byte per node; grab the block in one call and validate over
+    // the raw view instead of paying a bounds check per node.
+    std::string_view raw;
+    LEVA_RETURN_IF_ERROR(in->GetBytes(n, &raw));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (static_cast<uint8_t>(raw[i]) >
+          static_cast<uint8_t>(NodeKind::kValue)) {
+        return Status::InvalidArgument(
+            "corrupt graph: bad node kind " +
+            std::to_string(static_cast<uint8_t>(raw[i])));
+      }
     }
-    g.kinds_.push_back(static_cast<NodeKind>(k));
+    g.kinds_.resize(n);
+    std::memcpy(g.kinds_.data(), raw.data(), n);
   }
   g.labels_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -96,44 +103,64 @@ Status LevaGraph::Load(BufferReader* in) {
     LEVA_RETURN_IF_ERROR(in->GetString(&l));
     g.labels_.push_back(std::move(l));
   }
-  g.offsets_.reserve(n + 1);
-  uint64_t prev = 0;
-  for (uint64_t i = 0; i <= n; ++i) {
-    uint64_t o = 0;
-    LEVA_RETURN_IF_ERROR(in->GetU64(&o));
-    if ((i == 0 && o != 0) || o < prev) {
-      return Status::InvalidArgument(
-          "corrupt graph: adjacency offsets not monotone at node " +
-          std::to_string(i));
-    }
-    prev = o;
-    g.offsets_.push_back(o);
-  }
   uint64_t num_targets = 0;
   LEVA_RETURN_IF_ERROR(in->GetU64(&num_targets));
-  if (num_targets != g.offsets_.back() || num_targets % 2 != 0) {
+  if (offsets.size() != n + 1) {
+    return Status::InvalidArgument(
+        "corrupt graph: offsets array holds " + std::to_string(offsets.size()) +
+        " entries, expected " + std::to_string(n + 1));
+  }
+  if (targets.size() != num_targets || weights.size() != num_targets ||
+      num_targets % 2 != 0) {
+    return Status::InvalidArgument(
+        "corrupt graph: adjacency arrays hold " +
+        std::to_string(targets.size()) + "/" + std::to_string(weights.size()) +
+        " entries, expected " + std::to_string(num_targets));
+  }
+  if (validate_structure) {
+    // O(edges) invariant walk: every page of the arrays is touched, which
+    // the eager load paths want (they verify checksums anyway) and the lazy
+    // mmap path skips — the per-page CRCs written at save time carry the
+    // integrity guarantee there.
+    // Read through const views: the non-const operator[] of OwnedOrMapped
+    // detaches mapped storage into a heap copy, which would silently defeat
+    // the zero-copy load.
+    const uint64_t* off = offsets.data();
+    const NodeId* tgt = targets.data();
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i <= n; ++i) {
+      const uint64_t o = off[i];
+      if ((i == 0 && o != 0) || o < prev) {
+        return Status::InvalidArgument(
+            "corrupt graph: adjacency offsets not monotone at node " +
+            std::to_string(i));
+      }
+      prev = o;
+    }
+    if (offsets.back() != num_targets) {
+      return Status::InvalidArgument(
+          "corrupt graph: " + std::to_string(num_targets) +
+          " adjacency entries but offsets end at " +
+          std::to_string(offsets.back()));
+    }
+    for (uint64_t i = 0; i < num_targets; ++i) {
+      if (tgt[i] >= n) {
+        return Status::InvalidArgument("corrupt graph: edge target " +
+                                       std::to_string(tgt[i]) +
+                                       " out of range " + std::to_string(n));
+      }
+    }
+  } else if (offsets.back() != num_targets) {
+    // Even the lazy path checks the one invariant Neighbors() depends on
+    // globally — it costs a single page touch.
     return Status::InvalidArgument(
         "corrupt graph: " + std::to_string(num_targets) +
         " adjacency entries but offsets end at " +
-        std::to_string(g.offsets_.back()));
+        std::to_string(offsets.back()));
   }
-  g.targets_.reserve(num_targets);
-  for (uint64_t i = 0; i < num_targets; ++i) {
-    NodeId t = 0;
-    LEVA_RETURN_IF_ERROR(in->GetU32(&t));
-    if (t >= n) {
-      return Status::InvalidArgument("corrupt graph: edge target " +
-                                     std::to_string(t) + " out of range " +
-                                     std::to_string(n));
-    }
-    g.targets_.push_back(t);
-  }
-  g.weights_.reserve(num_targets);
-  for (uint64_t i = 0; i < num_targets; ++i) {
-    float w = 0;
-    LEVA_RETURN_IF_ERROR(in->GetFloat(&w));
-    g.weights_.push_back(w);
-  }
+  g.offsets_ = std::move(offsets);
+  g.targets_ = std::move(targets);
+  g.weights_ = std::move(weights);
 
   uint64_t num_tables = 0;
   LEVA_RETURN_IF_ERROR(in->GetU64(&num_tables));
@@ -163,6 +190,7 @@ Status LevaGraph::Load(BufferReader* in) {
   LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.votes_dropped_lowevidence));
 
   // The value-node index is a pure function of kinds/labels: rebuild it.
+  g.value_index_.reserve(g.stats_.value_nodes);
   for (NodeId i = 0; i < g.kinds_.size(); ++i) {
     if (g.kinds_[i] == NodeKind::kValue) g.value_index_.emplace(g.labels_[i], i);
   }

@@ -10,6 +10,7 @@
 
 #include "common/io.h"
 #include "common/result.h"
+#include "common/storage.h"
 #include "common/string_util.h"
 #include "text/textifier.h"
 
@@ -87,17 +88,33 @@ class LevaGraph {
 
   const GraphStats& stats() const { return stats_; }
 
-  /// Serializes the whole CSR structure (nodes, labels, adjacency, weights,
-  /// table row ranges, stats). Maps are written in sorted order so the bytes
-  /// are a pure function of the graph. The value-node index is derivable
-  /// from kinds/labels and is rebuilt on Load rather than stored.
+  /// Serializes the graph *metadata* (nodes, labels, table row ranges,
+  /// stats, CSR array lengths). Maps are written in sorted order so the
+  /// bytes are a pure function of the graph. The three CSR arrays —
+  /// offsets/targets/weights, see the accessors below — are framed
+  /// separately by the snapshot layer as page-aligned bulk sections so a
+  /// loader can map them instead of copying. The value-node index is
+  /// derivable from kinds/labels and is rebuilt on Load rather than stored.
   void Save(BufferWriter* out) const;
 
-  /// Restores state written by Save, validating every structural invariant
-  /// (offset monotonicity, edge symmetry counts, id ranges) so a corrupt
-  /// buffer is rejected instead of producing out-of-bounds adjacency. On
-  /// error the graph is left empty, never partially loaded.
-  Status Load(BufferReader* in);
+  /// Restores state written by Save, adopting the three CSR arrays (owned
+  /// heap bytes or borrowed mmap views). When `validate_structure` is true,
+  /// every structural invariant (offset monotonicity, edge symmetry counts,
+  /// id ranges) is checked so a corrupt buffer is rejected instead of
+  /// producing out-of-bounds adjacency — an O(edges) walk that touches every
+  /// page, so the lazy mmap load path may defer it to the per-page
+  /// checksums. On error the graph is left empty, never partially loaded.
+  Status Load(BufferReader* in, OwnedOrMapped<uint64_t> offsets,
+              OwnedOrMapped<NodeId> targets, OwnedOrMapped<float> weights,
+              bool validate_structure = true);
+
+  /// Raw CSR arrays (views over owned or mapped storage), for the snapshot
+  /// writer and the bulk-section framing.
+  ArrayView<uint64_t> offsets() const { return offsets_.span(); }
+  ArrayView<NodeId> targets() const { return targets_.span(); }
+  ArrayView<float> edge_weights() const { return weights_.span(); }
+  /// True when the CSR arrays are served straight from an mmap'ed snapshot.
+  bool mapped() const { return targets_.mapped(); }
 
  private:
   friend class GraphBuilder;
@@ -106,9 +123,13 @@ class LevaGraph {
 
   std::vector<NodeKind> kinds_;
   std::vector<std::string> labels_;
-  std::vector<size_t> offsets_;   // size NumNodes()+1
-  std::vector<NodeId> targets_;
-  std::vector<float> weights_;
+  // The big CSR arrays are views: owned heap vectors when built by Fit,
+  // borrowed spans into an mmap'ed snapshot after a zero-copy load. The
+  // on-disk layout is exactly the in-memory layout (little-endian,
+  // fixed-width), so mapping is a pointer cast, not a parse.
+  OwnedOrMapped<uint64_t> offsets_;  // size NumNodes()+1
+  OwnedOrMapped<NodeId> targets_;
+  OwnedOrMapped<float> weights_;
   std::unordered_map<std::string, NodeId, TransparentStringHash,
                      std::equal_to<>>
       value_index_;

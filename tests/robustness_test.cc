@@ -184,7 +184,10 @@ TEST(RobustnessTest, DeterministicEmbeddings) {
   ASSERT_TRUE(p1.Fit(data->db).ok());
   ASSERT_TRUE(p2.Fit(data->db).ok());
   ASSERT_EQ(p1.embedding().size(), p2.embedding().size());
-  EXPECT_EQ(p1.embedding().data(), p2.embedding().data());
+  const ArrayView<double> d1 = p1.embedding().data();
+  const ArrayView<double> d2 = p2.embedding().data();
+  ASSERT_EQ(d1.size(), d2.size());
+  EXPECT_TRUE(std::equal(d1.begin(), d1.end(), d2.begin()));
 }
 
 TEST(RobustnessTest, IsolatedNodeWalksTerminate) {

@@ -223,18 +223,178 @@ TEST(SnapshotTest, RejectsVersionSkew) {
   ASSERT_TRUE(fitted.SaveSnapshot(path).ok());
 
   std::string bytes = ReadAll(path);
-  // Bump the version field (offset 8) and re-seal the file CRC so only the
-  // version check can object.
+  // Bump the version field (offset 8). The version check runs before any
+  // checksum math — a future format may checksum differently, so the only
+  // safe reaction to unknown versions is to say so by name.
   bytes[8] = static_cast<char>(LevaPipeline::kSnapshotVersion + 1);
-  const uint32_t crc = Crc32c(bytes.data(), bytes.size() - sizeof(uint32_t));
-  std::memcpy(bytes.data() + bytes.size() - sizeof(uint32_t), &crc,
-              sizeof(crc));
   WriteAll(path, bytes);
 
   LevaPipeline p;
   const Status s = p.LoadSnapshot(path);
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(s.message().find("version"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find(std::to_string(LevaPipeline::kSnapshotVersion +
+                                            1)),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find(std::to_string(LevaPipeline::kSnapshotVersion)),
+            std::string::npos)
+      << s.ToString();
+}
+
+// A good-faith format-v1 file (the element-wise layout with a whole-file
+// trailing CRC that predates the page-aligned bulk sections) must be turned
+// away with an error naming both its version and ours — never parsed, never
+// a crash. The fixture is synthesized: v1 had the same 8-byte magic followed
+// by a u32 version field, which is all the v2 reader may look at.
+TEST(SnapshotTest, RejectsV1SnapshotNamingBothVersions) {
+  std::string v1;
+  v1 += "LEVASNP1";                    // family magic, shared across versions
+  const uint32_t version = 1;
+  v1.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  v1 += std::string(256, '\x7f');      // v1 body bytes the v2 reader can't parse
+
+  const std::string path = TempPath("v1.leva");
+  WriteAll(path, v1);
+  for (const bool use_mmap : {false, true}) {
+    LevaPipeline p;
+    SnapshotLoadOptions opts;
+    opts.use_mmap = use_mmap;
+    const Status s = p.LoadSnapshot(path, nullptr, opts);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("version 1"), std::string::npos)
+        << s.ToString();
+    EXPECT_NE(s.message().find("version 2"), std::string::npos)
+        << s.ToString();
+    EXPECT_NE(s.message().find("re-save"), std::string::npos) << s.ToString();
+  }
+}
+
+// --- zero-copy (mmap) loads --------------------------------------------------
+
+// Serving from a mapped snapshot — eagerly verified or lazily — must be
+// bit-for-bit the same function as serving from a heap load or from the
+// pipeline that trained the model.
+TEST(SnapshotTest, MmapLoadServesBitIdentically) {
+  const Fixture f = MakeFixture();
+  LevaPipeline fitted(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(fitted.Fit(f.ds.db).ok());
+  const MLDataset expected = Featurized(fitted, f, true);
+  const std::string path = TempPath("mmap.leva");
+  ASSERT_TRUE(fitted.SaveSnapshot(path).ok());
+
+  LevaPipeline heap;
+  ASSERT_TRUE(heap.LoadSnapshot(path).ok());
+  EXPECT_FALSE(heap.uses_mmap());
+  ExpectBitIdentical(Featurized(heap, f, true), expected);
+
+  for (const bool verify_pages : {true, false}) {
+    SCOPED_TRACE(verify_pages ? "eager" : "lazy");
+    LevaPipeline mapped;
+    SnapshotLoadOptions opts;
+    opts.use_mmap = true;
+    opts.verify_pages = verify_pages;
+    ASSERT_TRUE(mapped.LoadSnapshot(path, nullptr, opts).ok());
+    EXPECT_TRUE(mapped.uses_mmap());
+    EXPECT_TRUE(mapped.embedding().mapped());
+    EXPECT_TRUE(mapped.graph().mapped());
+    // The deferred integrity check must pass on an intact file whether or
+    // not the load already did the work.
+    EXPECT_TRUE(mapped.VerifyStorage().ok());
+    ExpectBitIdentical(Featurized(mapped, f, true), expected);
+    ExpectBitIdentical(Featurized(mapped, f, false),
+                       Featurized(fitted, f, false));
+  }
+}
+
+// Flipping one bit inside ANY page of the file must fail an eagerly verified
+// mmap load: manifest pages via the manifest checksum, bulk pages via their
+// per-page CRCs (which also cover the zero padding).
+TEST(SnapshotTest, MmapLoadRejectsEveryBadPage) {
+  const Fixture f = MakeFixture();
+  LevaPipeline fitted(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(fitted.Fit(f.ds.db).ok());
+  const std::string path = TempPath("badpage.leva");
+  ASSERT_TRUE(fitted.SaveSnapshot(path).ok());
+  const size_t file_size = ReadAll(path).size();
+  const size_t pages = (file_size + 4095) / 4096;
+  ASSERT_GT(pages, 2u) << "fixture snapshot too small to exercise paging";
+
+  SnapshotLoadOptions opts;
+  opts.use_mmap = true;
+  opts.verify_pages = true;
+  for (size_t page = 0; page < pages; ++page) {
+    SCOPED_TRACE("corrupt page " + std::to_string(page));
+    FaultInjectionEnv env;
+    env.CorruptMappedPage(page);
+    LevaPipeline p;
+    const Status s = p.LoadSnapshot(path, &env, opts);
+    EXPECT_FALSE(s.ok()) << "corrupt page " << page << " was accepted";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  }
+}
+
+// A bad bulk page must be named precisely — section, page index, and file
+// offset — so an operator can tell silent media corruption from a bad save.
+TEST(SnapshotTest, BadPageErrorNamesThePage) {
+  const Fixture f = MakeFixture();
+  LevaPipeline fitted(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(fitted.Fit(f.ds.db).ok());
+  const std::string path = TempPath("namepage.leva");
+  ASSERT_TRUE(fitted.SaveSnapshot(path).ok());
+  // The last page of the file always belongs to the last bulk section
+  // (embedding.data): bulk payloads tile the file to its exact end.
+  const size_t last_page = ReadAll(path).size() / 4096 - 1;
+
+  FaultInjectionEnv env;
+  env.CorruptMappedPage(last_page);
+  SnapshotLoadOptions opts;
+  opts.use_mmap = true;
+  LevaPipeline p;
+  const Status s = p.LoadSnapshot(path, &env, opts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("page checksum"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("embedding.data"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("file offset " + std::to_string(last_page * 4096)),
+            std::string::npos)
+      << s.ToString();
+}
+
+// A lazy mmap load (verify_pages = false) skips the O(model size) page scan,
+// so corruption in the embedding payload slips past the load — that is the
+// documented trade — but VerifyStorage() must still find it on demand and
+// name the page.
+TEST(SnapshotTest, LazyLoadDefersPageVerificationToVerifyStorage) {
+  const Fixture f = MakeFixture();
+  LevaPipeline fitted(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(fitted.Fit(f.ds.db).ok());
+  const std::string path = TempPath("lazy.leva");
+  ASSERT_TRUE(fitted.SaveSnapshot(path).ok());
+  const size_t last_page = ReadAll(path).size() / 4096 - 1;
+
+  FaultInjectionEnv env;
+  env.CorruptMappedPage(last_page);
+  SnapshotLoadOptions opts;
+  opts.use_mmap = true;
+  opts.verify_pages = false;
+  LevaPipeline p;
+  // The corrupt page holds raw embedding doubles, structurally invisible to
+  // the cheap load-time checks.
+  ASSERT_TRUE(p.LoadSnapshot(path, &env, opts).ok());
+  const Status verify = p.VerifyStorage();
+  ASSERT_FALSE(verify.ok());
+  EXPECT_EQ(verify.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(verify.message().find("page checksum"), std::string::npos)
+      << verify.ToString();
+
+  // Same load without the corruption: the deferred check passes.
+  env.Heal();
+  LevaPipeline clean;
+  ASSERT_TRUE(clean.LoadSnapshot(path, &env, opts).ok());
+  EXPECT_TRUE(clean.VerifyStorage().ok());
 }
 
 TEST(SnapshotTest, DetectsEveryTruncation) {
@@ -411,6 +571,69 @@ TEST(FaultInjectionTest, RetryAfterCrashSucceeds) {
   LevaPipeline loaded;
   ASSERT_TRUE(loaded.LoadSnapshot(path).ok());
   ExpectBitIdentical(Featurized(loaded, f, true), Featurized(model, f, true));
+}
+
+// Zero-copy loads lean on the same atomic-rename protocol: a crash at any
+// I/O step of an overwriting save must leave the previous snapshot not just
+// heap-loadable but MMAP-loadable with eager page verification — the mapped
+// reader sees either the complete old file or the complete new one, never a
+// partially renamed hybrid.
+TEST(FaultInjectionTest, CrashMidSaveLeavesPreviousSnapshotMmapLoadable) {
+  const Fixture f = MakeFixture();
+  LevaPipeline old_model(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(old_model.Fit(f.ds.db).ok());
+  LevaConfig new_config = TestConfig(EmbeddingMethod::kMatrixFactorization);
+  new_config.seed = 77;
+  LevaPipeline new_model(new_config);
+  ASSERT_TRUE(new_model.Fit(f.ds.db).ok());
+  const MLDataset old_out = Featurized(old_model, f, true);
+  const MLDataset new_out = Featurized(new_model, f, true);
+
+  const std::string path = TempPath("mmap_crash.leva");
+  FaultInjectionEnv probe;
+  ASSERT_TRUE(new_model.SaveSnapshot(path, &probe).ok());
+  const std::string good_old = [&] {
+    const std::string p = TempPath("mmap_crash_old.leva");
+    EXPECT_TRUE(old_model.SaveSnapshot(p).ok());
+    return ReadAll(p);
+  }();
+
+  SnapshotLoadOptions opts;
+  opts.use_mmap = true;
+  opts.verify_pages = true;
+  for (const OpKind kind : kAllOps) {
+    // Every append plus the commit steps; stride the appends to keep the
+    // suite fast under sanitizers while still hitting early/mid/late ones.
+    std::vector<size_t> nths = {1, probe.ops(kind)};
+    for (size_t nth = 2; nth < probe.ops(kind); nth += 3) nths.push_back(nth);
+    for (const size_t nth : nths) {
+      if (nth == 0 || nth > probe.ops(kind)) continue;
+      SCOPED_TRACE(std::string(OpName(kind)) + " #" + std::to_string(nth));
+      WriteAll(path, good_old);
+      FaultInjectionEnv env;
+      env.set_append_fault(FaultInjectionEnv::AppendFault::kTornWrite);
+      env.FailAtOp(kind, nth);
+      EXPECT_FALSE(new_model.SaveSnapshot(path, &env).ok());
+
+      // Reads pass through a crashed env, so "restart" and map the file.
+      LevaPipeline recovered;
+      const Status load = recovered.LoadSnapshot(path, &env, opts);
+      ASSERT_TRUE(load.ok())
+          << "crash left a snapshot that cannot be mmap-loaded: "
+          << load.ToString();
+      EXPECT_TRUE(recovered.uses_mmap());
+      EXPECT_TRUE(recovered.VerifyStorage().ok());
+      const MLDataset out = Featurized(recovered, f, true);
+      const bool is_old =
+          std::memcmp(out.x.data().data(), old_out.x.data().data(),
+                      out.x.data().size() * sizeof(double)) == 0;
+      const bool is_new =
+          std::memcmp(out.x.data().data(), new_out.x.data().data(),
+                      out.x.data().size() * sizeof(double)) == 0;
+      EXPECT_TRUE(is_old || is_new)
+          << "mapped recovery serves neither the old nor the new model";
+    }
+  }
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/parallel.h"
 #include "core/pipeline.h"
 #include "ml/featurize.h"
@@ -39,6 +40,8 @@ struct CliOptions {
   std::string featurize_output;
   std::string save_model;
   std::string load_model;
+  std::string reload_model;
+  SnapshotLoadOptions load_options;
   LevaConfig config;
   bool show_help = false;
 };
@@ -53,7 +56,13 @@ void PrintUsage() {
       "                [--featurize-batch-size N (rows per serving batch; "
       "0 = whole table)]\n"
       "                [--save-model FILE (write fitted pipeline snapshot)]\n"
-      "                [--load-model FILE (restore snapshot, skip Fit)]\n");
+      "                [--load-model FILE (restore snapshot, skip Fit)]\n"
+      "                [--mmap (serve bulk arrays zero-copy out of the "
+      "mapped snapshot)]\n"
+      "                [--no-verify-pages (defer per-page checksums; pair "
+      "with --mmap for O(1) load)]\n"
+      "                [--reload-model FILE (after the model is up, hot-swap "
+      "to this snapshot and report swap latency)]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -151,6 +160,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--load-model");
       if (v == nullptr) return false;
       options->load_model = v;
+    } else if (arg == "--mmap") {
+      options->load_options.use_mmap = true;
+    } else if (arg == "--no-verify-pages") {
+      options->load_options.verify_pages = false;
+    } else if (arg == "--reload-model") {
+      const char* v = next("--reload-model");
+      if (v == nullptr) return false;
+      options->reload_model = v;
     } else if (arg == "--featurize") {
       if (i + 3 >= argc) {
         std::fprintf(stderr, "--featurize expects TABLE TARGET OUT.csv\n");
@@ -191,17 +208,22 @@ int RunCli(const CliOptions& options) {
   LevaPipeline pipeline(options.config);
   if (!options.load_model.empty()) {
     const auto t0 = std::chrono::steady_clock::now();
-    if (Status s = pipeline.LoadSnapshot(options.load_model); !s.ok()) {
+    if (Status s = pipeline.LoadSnapshot(options.load_model, nullptr,
+                                         options.load_options);
+        !s.ok()) {
       std::fprintf(stderr, "load-model: %s\n", s.ToString().c_str());
       return 1;
     }
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
     std::fprintf(stderr,
-                 "loaded snapshot %s in %.3fs (%zu vectors, dim %zu) — "
-                 "Fit skipped\n",
+                 "loaded snapshot %s in %.3fs (%zu vectors, dim %zu, "
+                 "%s%s, rss %.1f MiB) — Fit skipped\n",
                  options.load_model.c_str(), elapsed.count(),
-                 pipeline.embedding().size(), pipeline.embedding().dim());
+                 pipeline.embedding().size(), pipeline.embedding().dim(),
+                 pipeline.uses_mmap() ? "mmap" : "heap",
+                 options.load_options.verify_pages ? "" : " lazy",
+                 CurrentRssBytes() / (1024.0 * 1024.0));
     // The snapshot restores the fit-time config; serving-only knobs on this
     // command line still win.
     pipeline.set_serving_options(options.config.threads,
@@ -226,6 +248,27 @@ int RunCli(const CliOptions& options) {
         std::chrono::steady_clock::now() - t0;
     std::fprintf(stderr, "saved snapshot to %s in %.3fs\n",
                  options.save_model.c_str(), elapsed.count());
+  }
+  if (!options.reload_model.empty()) {
+    // Hot swap: the serving model is replaced atomically; calls already in
+    // flight would finish on the model they pinned. Here it demonstrates the
+    // swap path and reports its latency and memory cost.
+    const auto t0 = std::chrono::steady_clock::now();
+    if (Status s = pipeline.ReloadSnapshot(options.reload_model, nullptr,
+                                           options.load_options);
+        !s.ok()) {
+      std::fprintf(stderr, "reload-model: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    std::fprintf(stderr,
+                 "hot-swapped to %s in %.3fs (%zu vectors, dim %zu, %s, "
+                 "rss %.1f MiB)\n",
+                 options.reload_model.c_str(), elapsed.count(),
+                 pipeline.embedding().size(), pipeline.embedding().dim(),
+                 pipeline.uses_mmap() ? "mmap" : "heap",
+                 CurrentRssBytes() / (1024.0 * 1024.0));
   }
   const GraphStats& stats = pipeline.graph().stats();
   std::fprintf(stderr,
