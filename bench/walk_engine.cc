@@ -1,0 +1,103 @@
+// WalkEngineThroughput: per-walker vs batched walk generation on synthetic
+// Chung–Lu power-law graphs across three scales. The interesting regime is
+// the largest one, where the CSR adjacency (plus alias slots when weighted)
+// no longer fits the last-level cache: the per-walker engine pays a
+// dependent random access per step, the batched engine streams
+// counting-sorted frontiers through cache-sized vertex blocks. Smallest
+// scale doubles as the CI smoke test (see --benchmark_filter in ci.yml).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <memory>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "embed/walks.h"
+#include "embed/walks_batched.h"
+#include "graph/graph.h"
+
+namespace leva {
+namespace {
+
+struct ScaleSpec {
+  size_t nodes;
+  size_t edges;
+};
+
+// 100k edges: comfortably cache-resident. 1M: working set around the L3
+// boundary on common parts. 10M: decisively beyond it (~120 MiB unweighted,
+// ~360 MiB weighted), the acceptance scale for the batched engine.
+constexpr std::array<ScaleSpec, 3> kScales = {{
+    {size_t{1} << 14, 100'000},
+    {size_t{1} << 17, 1'000'000},
+    {size_t{1} << 20, 10'000'000},
+}};
+
+// Graphs are expensive to generate; build each (scale, weighted) variant
+// once, on first use, and leak it (benchmark process lifetime).
+const LevaGraph& GetGraph(size_t scale, bool weighted) {
+  static std::array<std::unique_ptr<LevaGraph>, kScales.size() * 2> cache;
+  const size_t slot = scale * 2 + (weighted ? 1 : 0);
+  if (!cache[slot]) {
+    PowerLawGraphConfig config;
+    config.nodes = kScales[scale].nodes;
+    config.target_edges = kScales[scale].edges;
+    config.weighted = weighted;
+    config.seed = 42;
+    auto g = GeneratePowerLawGraph(config);
+    if (!g.ok()) {
+      std::fprintf(stderr, "graph generation failed: %s\n",
+                   g.status().ToString().c_str());
+      std::abort();
+    }
+    cache[slot] = std::make_unique<LevaGraph>(std::move(g).value());
+  }
+  return *cache[slot];
+}
+
+// Args: (scale index, batched engine?, weighted?).
+void BM_WalkEngineThroughput(benchmark::State& state) {
+  const size_t scale = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  const bool weighted = state.range(2) != 0;
+  const LevaGraph& graph = GetGraph(scale, weighted);
+
+  WalkOptions options;
+  options.epochs = 1;
+  options.walk_length = 20;
+  options.weighted = weighted;
+  options.threads = 0;  // all hardware threads
+  options.engine = batched ? WalkEngine::kBatched : WalkEngine::kWalker;
+
+  int64_t tokens = 0;
+  if (batched) {
+    BatchedWalkGenerator generator(&graph, options);
+    Rng rng(4);
+    for (auto _ : state) {
+      auto corpus = generator.Generate(&rng);
+      if (!corpus.ok()) state.SkipWithError("generation failed");
+      tokens += static_cast<int64_t>(corpus->num_tokens());
+    }
+  } else {
+    WalkGenerator generator(&graph, options);
+    Rng rng(4);
+    for (auto _ : state) {
+      auto corpus = generator.Generate(&rng);
+      if (!corpus.ok()) state.SkipWithError("generation failed");
+      tokens += static_cast<int64_t>(corpus->num_tokens());
+    }
+  }
+  // Tokens emitted per second — the number the EXPERIMENTS.md table and the
+  // >=2x acceptance comparison are read from.
+  state.SetItemsProcessed(tokens);
+  state.counters["edges"] = static_cast<double>(kScales[scale].edges);
+}
+BENCHMARK(BM_WalkEngineThroughput)
+    ->ArgNames({"scale", "batched", "weighted"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace leva
+
+BENCHMARK_MAIN();

@@ -53,6 +53,33 @@ class StageProfile {
     return total;
   }
 
+  /// Attaches a free-form note to `stage` (e.g. which engine or code path
+  /// the stage ran with), replacing any previous note for that stage. Kept
+  /// separate from the stage name so timing consumers keyed on stage names
+  /// never see variant-dependent keys.
+  void Annotate(const std::string& stage, std::string note) {
+    for (auto& [name, text] : annotations_) {
+      if (name == stage) {
+        text = std::move(note);
+        return;
+      }
+    }
+    annotations_.emplace_back(stage, std::move(note));
+  }
+
+  /// Note attached to `stage`, or an empty string.
+  const std::string& annotation(const std::string& stage) const {
+    static const std::string kEmpty;
+    for (const auto& [name, text] : annotations_) {
+      if (name == stage) return text;
+    }
+    return kEmpty;
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& annotations() const {
+    return annotations_;
+  }
+
   /// Worker threads the profiled run executed with (resolved, never 0), so
   /// recorded profiles state their parallelism alongside their timings.
   void set_threads(size_t threads) { threads_ = threads; }
@@ -60,11 +87,13 @@ class StageProfile {
 
   void Clear() {
     stages_.clear();
+    annotations_.clear();
     threads_ = 1;
   }
 
  private:
   std::vector<std::pair<std::string, double>> stages_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
   size_t threads_ = 1;
 };
 

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/simd.h"
 #include "core/token_resolver.h"
+#include "embed/walks_batched.h"
 
 namespace leva {
 namespace {
@@ -200,8 +201,20 @@ Status LevaPipeline::Fit(const Database& db) {
       WalkOptions walk_options = config_.walks;
       walk_options.weighted = config_.graph.weighted && walk_options.weighted;
       walk_options.threads = threads;
-      WalkGenerator generator(&graph, walk_options);
-      LEVA_ASSIGN_OR_RETURN(corpus, generator.Generate(&rng));
+      // Both engines emit bit-identical corpora (pinned by the differential
+      // suite), so this choice is pure throughput — recorded in the profile
+      // for the perf reports, invisible to the fitted model.
+      const WalkEngine engine = ResolveWalkEngine(graph, walk_options);
+      profile_.Annotate("walk_generation", engine == WalkEngine::kBatched
+                                               ? "engine=batched"
+                                               : "engine=walker");
+      if (engine == WalkEngine::kBatched) {
+        BatchedWalkGenerator generator(&graph, walk_options);
+        LEVA_ASSIGN_OR_RETURN(corpus, generator.Generate(&rng));
+      } else {
+        WalkGenerator generator(&graph, walk_options);
+        LEVA_ASSIGN_OR_RETURN(corpus, generator.Generate(&rng));
+      }
     }
     {
       ScopedStageTimer timer(&profile_, "embedding_training");

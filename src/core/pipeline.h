@@ -326,9 +326,10 @@ class LevaPipeline {
   }
 
   /// Snapshot format version written by SaveSnapshot. Version 2 introduced
-  /// page-aligned, per-page-checksummed bulk sections (mmap-able); version 1
-  /// files are rejected with an error naming both versions.
-  static constexpr uint32_t kSnapshotVersion = 2;
+  /// page-aligned, per-page-checksummed bulk sections (mmap-able); version 3
+  /// added the walk-engine selection fields to the serialized config. Older
+  /// versions are rejected with an error naming both versions.
+  static constexpr uint32_t kSnapshotVersion = 3;
 
  private:
   // Mean of the value-node embeddings of `tokens` into `out` (zeros when no

@@ -4,7 +4,7 @@
 //
 //   manifest:
 //     [8]  magic "LEVASNP1"
-//     [4]  u32 format version (2)
+//     [4]  u32 format version (3)
 //     [4]  u32 config hash       crc32c of the "config" section payload
 //     [4]  u32 section count
 //     per section:
@@ -84,6 +84,8 @@ void SaveConfig(const LevaConfig& c, BufferWriter* out) {
   out->PutDouble(c.walks.p);
   out->PutDouble(c.walks.q);
   out->PutU64(c.walks.threads);
+  out->PutU8(static_cast<uint8_t>(c.walks.engine));
+  out->PutU64(c.walks.batched_auto_threshold_bytes);
 
   out->PutU64(c.word2vec.dim);
   out->PutU64(c.word2vec.window);
@@ -162,6 +164,13 @@ Status LoadConfig(BufferReader* in, LevaConfig* c) {
   LEVA_RETURN_IF_ERROR(in->GetDouble(&c->walks.p));
   LEVA_RETURN_IF_ERROR(in->GetDouble(&c->walks.q));
   LEVA_RETURN_IF_ERROR(in->GetU64(&c->walks.threads));
+  uint8_t engine = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU8(&engine));
+  if (engine > static_cast<uint8_t>(WalkEngine::kBatched)) {
+    return Status::InvalidArgument("unknown walk engine id in snapshot config");
+  }
+  c->walks.engine = static_cast<WalkEngine>(engine);
+  LEVA_RETURN_IF_ERROR(in->GetU64(&c->walks.batched_auto_threshold_bytes));
 
   LEVA_RETURN_IF_ERROR(in->GetU64(&c->word2vec.dim));
   LEVA_RETURN_IF_ERROR(in->GetU64(&c->word2vec.window));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace leva {
@@ -404,6 +405,92 @@ Result<Database> ReplicateDatabase(const Database& db, size_t k) {
   }
   for (const ForeignKey& fk : db.foreign_keys()) out.AddForeignKey(fk);
   return out;
+}
+
+namespace {
+
+// Inverse-CDF endpoint draw: node i with probability w_i / W.
+inline NodeId SamplePowerLawNode(const std::vector<double>& cum, Rng* rng) {
+  const double u = rng->Uniform() * cum.back();
+  const auto it = std::upper_bound(cum.begin(), cum.end(), u);
+  const size_t idx = static_cast<size_t>(it - cum.begin());
+  return static_cast<NodeId>(std::min(idx, cum.size() - 1));
+}
+
+}  // namespace
+
+Result<LevaGraph> GeneratePowerLawGraph(const PowerLawGraphConfig& config) {
+  const size_t n = config.nodes;
+  const size_t num_edges = config.target_edges;
+  if (n == 0) return Status::InvalidArgument("nodes must be positive");
+  if (n >= static_cast<size_t>(kInvalidNode)) {
+    return Status::OutOfRange("node count exceeds the NodeId range");
+  }
+  if (config.exponent <= 1.0) {
+    return Status::InvalidArgument("power-law exponent must exceed 1");
+  }
+  const size_t threads = ResolveThreads(config.threads);
+
+  // Cumulative Chung–Lu node weights; endpoint draws binary-search this.
+  std::vector<double> cum(n);
+  const double alpha = 1.0 / (config.exponent - 1.0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cum[i] = total;
+  }
+
+  // Draw endpoints (and per-edge weights) in fixed-size chunks, one
+  // counter-based RNG stream per chunk — bit-identical at any thread count.
+  std::vector<NodeId> end_a(num_edges);
+  std::vector<NodeId> end_b(num_edges);
+  std::vector<float> edge_w(config.weighted ? num_edges : 0);
+  constexpr size_t kEdgeChunk = 65536;
+  const size_t chunks = (num_edges + kEdgeChunk - 1) / kEdgeChunk;
+  ParallelFor(threads, 0, chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      Rng rng = StreamRng(config.seed, rngdomain::kDatagenGraph, c);
+      const size_t lo = c * kEdgeChunk;
+      const size_t hi = std::min(num_edges, lo + kEdgeChunk);
+      for (size_t e = lo; e < hi; ++e) {
+        end_a[e] = SamplePowerLawNode(cum, &rng);
+        end_b[e] = SamplePowerLawNode(cum, &rng);
+        if (config.weighted) {
+          edge_w[e] = static_cast<float>(rng.Uniform(0.1, 1.1));
+        }
+      }
+    }
+  });
+  cum.clear();
+  cum.shrink_to_fit();
+
+  // Sequential CSR assembly: count, prefix, place. Deterministic by
+  // construction; two streaming passes over the endpoint slab.
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (size_t e = 0; e < num_edges; ++e) {
+    ++offsets[end_a[e] + 1];
+    ++offsets[end_b[e] + 1];
+  }
+  for (size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+  std::vector<NodeId> targets(offsets[n]);
+  std::vector<float> weights(config.weighted ? offsets[n] : 0);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t e = 0; e < num_edges; ++e) {
+    const NodeId a = end_a[e];
+    const NodeId b = end_b[e];
+    targets[cursor[a]] = b;
+    targets[cursor[b]] = a;
+    if (config.weighted) {
+      weights[cursor[a]] = edge_w[e];
+      weights[cursor[b]] = edge_w[e];
+    }
+    ++cursor[a];
+    ++cursor[b];
+  }
+
+  std::vector<NodeKind> kinds(n, NodeKind::kValue);
+  return GraphFromCsr(std::move(kinds), {}, std::move(offsets),
+                      std::move(targets), std::move(weights));
 }
 
 }  // namespace leva

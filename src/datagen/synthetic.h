@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "graph/graph.h"
 #include "table/table.h"
 
 namespace leva {
@@ -74,6 +75,41 @@ Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config);
 Result<SyntheticDataset> GenerateStudent(size_t num_students,
                                          size_t noise_attributes,
                                          uint64_t seed);
+
+/// Synthetic power-law graph for walk-engine benchmarking (Chung–Lu model:
+/// both endpoints of every edge are drawn independently with probability
+/// proportional to a per-node weight w_i ∝ (i+1)^(-1/(exponent-1)), giving
+/// the heavy-tailed degree distribution real value graphs show — a few hub
+/// tokens shared by most rows, a long tail of rare ones).
+///
+/// Memory guide (unweighted; weighted adds 12 B/slot of alias storage at
+/// walk time): the CSR is 12 B per directed slot = 24 B per edge, plus an
+/// equal-size transient endpoint slab during generation.
+///   - CI scale:  nodes = 1<<20, target_edges = 10'000'000  → ~0.5 GiB peak,
+///     seconds to generate; the WalkEngineThroughput suite's large arg.
+///   - 1B-edge scale: nodes = 1<<26, target_edges = 1'000'000'000 →
+///     ~24 GiB CSR + ~16 GiB transient (fits a 64 GiB box). Not run in CI;
+///     documented so the batched engine's headline scale is reproducible.
+struct PowerLawGraphConfig {
+  size_t nodes = size_t{1} << 20;
+  /// Undirected edge count (each lands as two directed CSR slots).
+  /// Self-loops and parallel edges are kept, as Chung–Lu defines.
+  size_t target_edges = 10'000'000;
+  /// Degree-distribution exponent gamma; node weights decay as
+  /// rank^(-1/(gamma-1)). 2.1 is typical of real shared-token graphs.
+  double exponent = 2.1;
+  /// Attach a Uniform(0.1, 1.1) weight per undirected edge (exercises the
+  /// alias sampling path); otherwise all slots weigh 1.
+  bool weighted = true;
+  uint64_t seed = 1;
+  /// Edge-sampling threads (0 = hardware). The generated graph is
+  /// bit-identical at every thread count: edges are drawn in fixed-size
+  /// chunks, each from its own counter-based RNG stream
+  /// (rngdomain::kDatagenGraph), and CSR assembly is sequential.
+  size_t threads = 0;
+};
+
+Result<LevaGraph> GeneratePowerLawGraph(const PowerLawGraphConfig& config);
 
 /// Replicates every table K times for the scalability study (Fig. 7a):
 /// string tokens of copy k are suffixed "_v<k>" and numeric values shifted by

@@ -19,6 +19,123 @@ constexpr size_t kAliasGrain = 256;
 
 }  // namespace
 
+size_t WalkWorkingSetBytes(const LevaGraph& graph, bool weighted) {
+  const size_t n = graph.NumNodes();
+  const size_t slots = graph.targets().size();  // directed edge entries
+  size_t bytes = (n + 1) * sizeof(uint64_t)     // CSR offsets
+                 + slots * sizeof(NodeId);      // CSR targets
+  if (weighted) {
+    // Flat alias layout: prob (double) + alias (uint32) per slot, plus the
+    // per-node empty flag. The per-walker engine's vector-of-AliasTable
+    // holds the same payload (plus heap headers), so one estimate serves
+    // both engines.
+    bytes += slots * (sizeof(double) + sizeof(uint32_t)) + n;
+  }
+  return bytes;
+}
+
+WalkEngine ResolveWalkEngine(const LevaGraph& graph,
+                             const WalkOptions& options) {
+  if (options.p != 1.0 || options.q != 1.0) return WalkEngine::kWalker;
+  if (options.engine != WalkEngine::kAuto) return options.engine;
+  return WalkWorkingSetBytes(graph, options.weighted) >
+                 options.batched_auto_threshold_bytes
+             ? WalkEngine::kBatched
+             : WalkEngine::kWalker;
+}
+
+namespace walk_internal {
+
+Result<FlatCorpus> RunEpochSchedule(size_t num_nodes,
+                                    const WalkOptions& options,
+                                    uint64_t base_seed,
+                                    std::vector<size_t>* visits,
+                                    const StepEpochFn& step_epoch) {
+  const size_t n = num_nodes;
+  std::vector<size_t>& visit_counts = *visits;
+  FlatCorpus corpus;
+
+  size_t normal_epochs = options.epochs;
+  size_t restart_epochs = 0;
+  if (options.balanced_restarts) {
+    restart_epochs = std::min(options.restart_epochs, options.epochs);
+    normal_epochs = options.epochs - restart_epochs;
+  }
+  // Every epoch (normal and restart) emits up to one walk per node; with no
+  // visit limit every stepped token survives, so reserve the exact worst
+  // case up front and the token buffer never reallocates.
+  const size_t tokens_per_epoch = n * options.walk_length;
+  corpus.Reserve(options.epochs * n,
+                 options.visit_limit == 0 ? options.epochs * tokens_per_epoch
+                                          : tokens_per_epoch);
+
+  // Per-epoch trajectory slab: walk i steps into slot [i * walk_length, ...).
+  // Allocated once and reused by every epoch — no per-walk heap churn.
+  std::vector<NodeId> traj(tokens_per_epoch);
+  std::vector<uint32_t> traj_len(n);
+  const auto run_epoch = [&](size_t epoch, const std::vector<NodeId>& starts) {
+    step_epoch(epoch, starts, traj.data(), traj_len.data());
+    // Epoch barrier: apply the visit-limit filter sequentially in walk order,
+    // merging per-walk counts into the visit counters. This preserves the
+    // sequential generator's exact guarantee that no node is emitted more
+    // than `visit_limit` times while keeping the stepping above
+    // embarrassingly parallel (trajectories never read the counters).
+    // Surviving tokens are appended straight into the corpus; EndSentence
+    // drops empty walks.
+    for (size_t i = 0; i < n; ++i) {
+      const NodeId* walk = traj.data() + i * options.walk_length;
+      const size_t len = traj_len[i];
+      if (options.visit_limit == 0) {
+        // No filter: bulk-append the whole trajectory (one memcpy into the
+        // token buffer) instead of pushing token by token.
+        corpus.AppendSentence({walk, len});
+        for (size_t j = 0; j < len; ++j) ++visit_counts[walk[j]];
+        continue;
+      } else {
+        for (size_t j = 0; j < len; ++j) {
+          const NodeId cur = walk[j];
+          if (visit_counts[cur] >= options.visit_limit) continue;
+          corpus.PushToken(cur);
+          ++visit_counts[cur];
+        }
+      }
+      corpus.EndSentence();
+    }
+  };
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t e = 0; e < normal_epochs; ++e) {
+    Rng shuffle_rng = StreamRng(base_seed, rngdomain::kWalkShuffle, e);
+    shuffle_rng.Shuffle(&order);
+    run_epoch(e, order);
+  }
+
+  if (restart_epochs > 0) {
+    // Worst-represented quartile by merged visit count; restarting from these
+    // nodes balances their representation in the corpus (Section 4.2.2). The
+    // quartile is recomputed at every restart-epoch barrier so each epoch
+    // re-targets the nodes that are worst *now*, not the ones that were worst
+    // before any balancing ran. Ties break by node id so the start list is a
+    // pure function of the merged counts.
+    std::vector<NodeId> by_visits(n);
+    std::vector<NodeId> starts(n);
+    const size_t worst = std::max<size_t>(1, n / 4);
+    for (size_t e = 0; e < restart_epochs; ++e) {
+      std::iota(by_visits.begin(), by_visits.end(), 0);
+      std::sort(by_visits.begin(), by_visits.end(), [&](NodeId a, NodeId b) {
+        return visit_counts[a] != visit_counts[b] ? visit_counts[a] < visit_counts[b]
+                                                  : a < b;
+      });
+      for (size_t i = 0; i < n; ++i) starts[i] = by_visits[i % worst];
+      run_epoch(normal_epochs + e, starts);
+    }
+  }
+  return corpus;
+}
+
+}  // namespace walk_internal
+
 WalkGenerator::WalkGenerator(const LevaGraph* graph, WalkOptions options)
     : graph_(graph), options_(options) {
   if (options_.weighted) {
@@ -115,98 +232,28 @@ Result<FlatCorpus> WalkGenerator::Generate(Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("rng is required");
   const size_t n = graph_->NumNodes();
   visits_.assign(n, 0);
-  FlatCorpus corpus;
-  if (n == 0 || options_.epochs == 0) return corpus;
+  if (n == 0 || options_.epochs == 0) return FlatCorpus();
 
   const size_t threads = ResolveThreads(options_.threads);
   // All per-walk and per-epoch streams derive from this one draw, so the
   // corpus is a pure function of the caller's rng state and never of the
   // thread count.
   const uint64_t base_seed = rng->Next();
-
-  size_t normal_epochs = options_.epochs;
-  size_t restart_epochs = 0;
-  if (options_.balanced_restarts) {
-    restart_epochs = std::min(options_.restart_epochs, options_.epochs);
-    normal_epochs = options_.epochs - restart_epochs;
-  }
-  // Every epoch (normal and restart) emits up to one walk per node; with no
-  // visit limit every stepped token survives, so reserve the exact worst
-  // case up front and the token buffer never reallocates.
-  const size_t tokens_per_epoch = n * options_.walk_length;
-  corpus.Reserve(options_.epochs * n,
-                 options_.visit_limit == 0
-                     ? options_.epochs * tokens_per_epoch
-                     : tokens_per_epoch);
-
-  // Per-epoch trajectory slab: walk i steps into slot [i * walk_length, ...).
-  // Allocated once and reused by every epoch — no per-walk heap churn.
-  std::vector<NodeId> traj(tokens_per_epoch);
-  std::vector<uint32_t> traj_len(n);
-  const auto run_epoch = [&](size_t epoch, const std::vector<NodeId>& starts) {
-    ParallelFor(threads, 0, n, kWalkGrain, [&](size_t b, size_t e) {
-      for (size_t i = b; i < e; ++i) {
-        Rng walk_rng = StreamRng(base_seed, rngdomain::kWalk,
-                                 static_cast<uint64_t>(epoch) * n + i);
-        traj_len[i] = static_cast<uint32_t>(
-            Trajectory(starts[i], &walk_rng, traj.data() + i * options_.walk_length));
-      }
-    });
-    // Epoch barrier: apply the visit-limit filter sequentially in walk order,
-    // merging per-walk counts into `visits_`. This preserves the sequential
-    // generator's exact guarantee that no node is emitted more than
-    // `visit_limit` times while keeping the stepping above embarrassingly
-    // parallel (trajectories never read `visits_`). Surviving tokens are
-    // appended straight into the corpus; EndSentence drops empty walks.
-    for (size_t i = 0; i < n; ++i) {
-      const NodeId* walk = traj.data() + i * options_.walk_length;
-      const size_t len = traj_len[i];
-      if (options_.visit_limit == 0) {
-        // No filter: bulk-append the whole trajectory (one memcpy into the
-        // token buffer) instead of pushing token by token.
-        corpus.AppendSentence({walk, len});
-        for (size_t j = 0; j < len; ++j) ++visits_[walk[j]];
-        continue;
-      } else {
-        for (size_t j = 0; j < len; ++j) {
-          const NodeId cur = walk[j];
-          if (visits_[cur] >= options_.visit_limit) continue;
-          corpus.PushToken(cur);
-          ++visits_[cur];
-        }
-      }
-      corpus.EndSentence();
-    }
-  };
-
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  for (size_t e = 0; e < normal_epochs; ++e) {
-    Rng shuffle_rng = StreamRng(base_seed, rngdomain::kWalkShuffle, e);
-    shuffle_rng.Shuffle(&order);
-    run_epoch(e, order);
-  }
-
-  if (restart_epochs > 0) {
-    // Worst-represented quartile by merged visit count; restarting from these
-    // nodes balances their representation in the corpus (Section 4.2.2). The
-    // quartile is recomputed at every restart-epoch barrier so each epoch
-    // re-targets the nodes that are worst *now*, not the ones that were worst
-    // before any balancing ran. Ties break by node id so the start list is a
-    // pure function of the merged counts.
-    std::vector<NodeId> by_visits(n);
-    std::vector<NodeId> starts(n);
-    const size_t worst = std::max<size_t>(1, n / 4);
-    for (size_t e = 0; e < restart_epochs; ++e) {
-      std::iota(by_visits.begin(), by_visits.end(), 0);
-      std::sort(by_visits.begin(), by_visits.end(), [&](NodeId a, NodeId b) {
-        return visits_[a] != visits_[b] ? visits_[a] < visits_[b] : a < b;
+  // The schedule (shuffles, restarts, visit filter) lives in the shared
+  // driver; this engine only supplies the per-walker stepping.
+  return walk_internal::RunEpochSchedule(
+      n, options_, base_seed, &visits_,
+      [&](size_t epoch, const std::vector<NodeId>& starts, NodeId* traj,
+          uint32_t* traj_len) {
+        ParallelFor(threads, 0, n, kWalkGrain, [&](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) {
+            Rng walk_rng = StreamRng(base_seed, rngdomain::kWalk,
+                                     static_cast<uint64_t>(epoch) * n + i);
+            traj_len[i] = static_cast<uint32_t>(Trajectory(
+                starts[i], &walk_rng, traj + i * options_.walk_length));
+          }
+        });
       });
-      for (size_t i = 0; i < n; ++i) starts[i] = by_visits[i % worst];
-      run_epoch(normal_epochs + e, starts);
-    }
-  }
-  return corpus;
 }
 
 Result<WalkCorpus> WalkGenerator::GenerateNested(Rng* rng) {

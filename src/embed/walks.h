@@ -1,6 +1,7 @@
 #ifndef LEVA_EMBED_WALKS_H_
 #define LEVA_EMBED_WALKS_H_
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,22 @@
 #include "graph/graph.h"
 
 namespace leva {
+
+/// Which walk-generation engine runs (see walks_batched.h for the batched
+/// one). The two engines emit bit-identical corpora for the same seed; the
+/// choice is purely a performance decision, so it is safe to flip between
+/// Fits and safe for kAuto to decide per graph.
+enum class WalkEngine : uint8_t {
+  /// Per-walker below the working-set threshold, batched above it.
+  kAuto = 0,
+  /// The per-walker pointer-chasing engine (WalkGenerator): one random CSR
+  /// row per step per walker. Fastest while the graph stays cache-resident.
+  kWalker = 1,
+  /// The epoch-synchronous batched engine (BatchedWalkGenerator): walkers
+  /// bucketed by current vertex each step so adjacency reads stream.
+  /// Node2vec-biased walks (p or q != 1) always fall back to per-walker.
+  kBatched = 2,
+};
 
 /// Random-walk corpus generation parameters (Section 4.2.2).
 struct WalkOptions {
@@ -34,7 +51,28 @@ struct WalkOptions {
   /// bit-identical at any thread count for a given seed. Also shards the
   /// per-node alias-table build in the constructor.
   size_t threads = 1;
+  /// Engine selection; see WalkEngine. The engines are bit-identical, so
+  /// this knob never changes the fitted model, only Fit-time throughput.
+  WalkEngine engine = WalkEngine::kAuto;
+  /// kAuto switches to the batched engine once the walk working set
+  /// (WalkWorkingSetBytes: CSR adjacency plus the flat alias layout) exceeds
+  /// this many bytes — i.e. once per-step random access stops fitting the
+  /// last-level cache. Default is a conservative 64 MiB.
+  size_t batched_auto_threshold_bytes = size_t{64} << 20;
 };
+
+/// Bytes the walk sampling hot loop touches per step: CSR offsets + targets,
+/// plus the alias slots (12 B per directed edge) and per-node empty flags
+/// when `weighted`. The kAuto engine decision compares this against
+/// WalkOptions::batched_auto_threshold_bytes.
+size_t WalkWorkingSetBytes(const LevaGraph& graph, bool weighted);
+
+/// Resolves WalkOptions::engine to a concrete engine for `graph`:
+/// node2vec-biased walks (p or q != 1) always run per-walker (the batched
+/// engine has no second-order path), kAuto applies the working-set
+/// threshold, and explicit choices are honored otherwise.
+WalkEngine ResolveWalkEngine(const LevaGraph& graph,
+                             const WalkOptions& options);
 
 /// Legacy nested corpus representation: one heap vector per walk. Kept for
 /// the differential tests against the flat fast path (GenerateNested) and
@@ -92,6 +130,33 @@ class WalkGenerator {
   std::vector<AliasTable> alias_;  // per node, only when weighted
   std::vector<size_t> visits_;
 };
+
+namespace walk_internal {
+
+/// Steps every walk of one epoch: for walker i, write its raw trajectory
+/// into traj[i * walk_length ...] and its emitted length into traj_len[i].
+/// `epoch` is the global epoch index (normal epochs first, then restart
+/// epochs) — per-walk RNG streams are keyed on it.
+using StepEpochFn =
+    std::function<void(size_t epoch, const std::vector<NodeId>& starts,
+                       NodeId* traj, uint32_t* traj_len)>;
+
+/// The engine-independent half of corpus generation, shared by the
+/// per-walker and batched engines so their outputs agree byte for byte:
+/// the shuffled start order of normal epochs, the re-targeted worst-quartile
+/// starts of balanced-restart epochs, and the sequential visit-limit filter
+/// barrier that appends surviving tokens to the corpus in walker order.
+/// `step_epoch` supplies the only engine-specific part — how one epoch's
+/// trajectories are stepped into the shared slab. Requires n > 0 and
+/// options.epochs > 0 (callers return an empty corpus earlier otherwise);
+/// `visits` is reset by the caller.
+Result<FlatCorpus> RunEpochSchedule(size_t num_nodes,
+                                    const WalkOptions& options,
+                                    uint64_t base_seed,
+                                    std::vector<size_t>* visits,
+                                    const StepEpochFn& step_epoch);
+
+}  // namespace walk_internal
 
 }  // namespace leva
 

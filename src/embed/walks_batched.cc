@@ -1,0 +1,244 @@
+#include "embed/walks_batched.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/alias.h"
+
+namespace leva {
+namespace {
+
+// Frontier records per counting-sort chunk. Chunk boundaries are part of the
+// deterministic bucket layout (each chunk owns one cursor per block), so the
+// value is fixed — never derived from the thread count.
+constexpr size_t kSortChunk = 16384;
+
+// Frontier records per sampling chunk. Records are independent (each owns
+// its RNG and its walk slot), so this grain only balances dispatch overhead
+// against load skew.
+constexpr size_t kProcessGrain = 2048;
+
+// Walkers per frontier-initialization chunk.
+constexpr size_t kInitGrain = 4096;
+
+// Nodes per chunk of the flat alias build (matches the per-walker engine's
+// alias-build sharding).
+constexpr size_t kAliasGrain = 256;
+
+// Target bytes of CSR adjacency + alias slots per vertex block: the slice of
+// the graph a bucket's walkers re-reference while they sample. Half the L2
+// on typical parts, leaving the other half for the frontier and trajectory
+// streams flowing through it.
+constexpr size_t kBlockBudgetBytes = size_t{1} << 20;
+
+}  // namespace
+
+BatchedWalkGenerator::BatchedWalkGenerator(const LevaGraph* graph,
+                                           WalkOptions options)
+    : graph_(graph),
+      options_(options),
+      threads_(ResolveThreads(options.threads)) {
+  if (options_.p != 1.0 || options_.q != 1.0) {
+    // Second-order transitions need the previous vertex's neighbor list at
+    // every step — state the bucketed frontier deliberately does not carry.
+    // Delegate wholesale instead of mis-serving the biased case.
+    fallback_ = std::make_unique<WalkGenerator>(graph_, options_);
+    return;
+  }
+  if (options_.weighted) BuildFlatAlias();
+  ChooseBlockGeometry();
+}
+
+BatchedWalkGenerator::~BatchedWalkGenerator() = default;
+
+const std::vector<size_t>& BatchedWalkGenerator::visit_counts() const {
+  return fallback_ ? fallback_->visit_counts() : visits_;
+}
+
+size_t BatchedWalkGenerator::AliasMemoryBytes() const {
+  if (fallback_) return fallback_->AliasMemoryBytes();
+  return alias_prob_.capacity() * sizeof(double) +
+         alias_idx_.capacity() * sizeof(uint32_t) + alias_empty_.capacity();
+}
+
+void BatchedWalkGenerator::BuildFlatAlias() {
+  const size_t n = graph_->NumNodes();
+  const size_t slots = graph_->targets().size();
+  alias_prob_.resize(slots);
+  alias_idx_.resize(slots);
+  alias_empty_.assign(n, 0);
+  const ArrayView<uint64_t> offsets = graph_->offsets();
+  // Same sharding and same BuildAliasSlots numerics as the per-walker
+  // engine's table build, just written into one CSR-indexed layout so a
+  // vertex block's slots are contiguous with the adjacency they sample.
+  ParallelFor(threads_, 0, n, kAliasGrain, [&](size_t b, size_t e) {
+    AliasBuildScratch scratch;
+    std::vector<double> w;
+    for (NodeId node = static_cast<NodeId>(b); node < e; ++node) {
+      const auto weights = graph_->Weights(node);
+      w.assign(weights.begin(), weights.end());
+      if (!BuildAliasSlots({w.data(), w.size()},
+                           alias_prob_.data() + offsets[node],
+                           alias_idx_.data() + offsets[node], &scratch)) {
+        alias_empty_[node] = 1;
+      }
+    }
+  });
+}
+
+void BatchedWalkGenerator::ChooseBlockGeometry() {
+  const size_t n = graph_->NumNodes();
+  if (n == 0) {
+    block_shift_ = 0;
+    num_blocks_ = 1;
+    return;
+  }
+  const size_t total = WalkWorkingSetBytes(*graph_, options_.weighted);
+  const size_t per_vertex = std::max<size_t>(1, total / n);
+  // Power-of-two vertices per block so the bucket of a vertex is one shift.
+  size_t block = std::max<size_t>(1, kBlockBudgetBytes / per_vertex);
+  block_shift_ = 0;
+  while ((size_t{2} << block_shift_) <= block) ++block_shift_;
+  num_blocks_ = ((n - 1) >> block_shift_) + 1;
+}
+
+NodeId BatchedWalkGenerator::SampleNext(NodeId cur, Rng* rng) const {
+  const auto nbrs = graph_->Neighbors(cur);
+  if (nbrs.empty()) return kInvalidNode;
+  if (options_.weighted) {
+    if (alias_empty_[cur]) return kInvalidNode;
+    // Draw-for-draw the same stream consumption as AliasTable::Sample.
+    const uint64_t off = graph_->offsets()[cur];
+    const uint32_t i = static_cast<uint32_t>(rng->UniformInt(nbrs.size()));
+    const uint32_t pick =
+        rng->Uniform() < alias_prob_[off + i] ? i : alias_idx_[off + i];
+    return nbrs[pick];
+  }
+  return nbrs[rng->UniformInt(nbrs.size())];
+}
+
+size_t BatchedWalkGenerator::BucketFrontier(size_t m) {
+  const size_t chunks = (m + kSortChunk - 1) / kSortChunk;
+  const size_t cells = num_blocks_ * chunks;
+  bucket_offsets_.assign(cells, 0);
+  Walker* fr = front_.data();
+  Walker* bk = back_.data();
+  const size_t shift = block_shift_;
+
+  // Pass 1: per-chunk bucket histograms. Cell (block, chunk) is owned by
+  // exactly one chunk, so the counting pass is race-free and the resulting
+  // layout — block-major, then chunk, then record order — is a pure
+  // function of (m, kSortChunk, block map): stable, and identical at every
+  // thread count.
+  ParallelFor(threads_, 0, chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * kSortChunk;
+      const size_t hi = std::min(m, lo + kSortChunk);
+      for (size_t i = lo; i < hi; ++i) {
+        if (fr[i].cur == kInvalidNode) continue;  // finished walker: drop
+        ++bucket_offsets_[(static_cast<size_t>(fr[i].cur) >> shift) * chunks +
+                          c];
+      }
+    }
+  });
+
+  uint64_t total = 0;
+  for (size_t cell = 0; cell < cells; ++cell) {
+    const uint64_t count = bucket_offsets_[cell];
+    bucket_offsets_[cell] = total;
+    total += count;
+  }
+
+  // Pass 2: placement. Sequential reads of the old frontier; writes advance
+  // one cursor per destination block — a handful of forward streams, not
+  // random scatter.
+  ParallelFor(threads_, 0, chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * kSortChunk;
+      const size_t hi = std::min(m, lo + kSortChunk);
+      for (size_t i = lo; i < hi; ++i) {
+        const Walker& w = fr[i];
+        if (w.cur == kInvalidNode) continue;
+        bk[bucket_offsets_[(static_cast<size_t>(w.cur) >> shift) * chunks +
+                           c]++] = w;
+      }
+    }
+  });
+
+  std::swap(front_, back_);
+  return static_cast<size_t>(total);
+}
+
+void BatchedWalkGenerator::StepEpoch(uint64_t base_seed, size_t epoch,
+                                     const std::vector<NodeId>& starts,
+                                     NodeId* traj, uint32_t* traj_len) {
+  const size_t n = graph_->NumNodes();
+  const size_t walk_length = options_.walk_length;
+  // Walkers that survive every step emit walk_length tokens; early deaths
+  // overwrite their slot below.
+  std::fill(traj_len, traj_len + n,
+            static_cast<uint32_t>(walk_length));
+  if (walk_length == 0) return;
+
+  front_.EnsureSize(n);
+  back_.EnsureSize(n);
+  Walker* fr = front_.data();
+  ParallelForNuma(threads_, 0, n, kInitGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      fr[i].id = static_cast<NodeId>(i);
+      fr[i].cur = starts[i];
+      fr[i].rng = StreamRng(base_seed, rngdomain::kWalk,
+                            static_cast<uint64_t>(epoch) * n + i);
+    }
+  });
+
+  size_t m = n;
+  for (size_t step = 0; step < walk_length; ++step) {
+    // (a) Bucket/shuffle the frontier by vertex block — also compacts away
+    // walkers that ended last step.
+    m = BucketFrontier(m);
+    if (m == 0) break;
+    const bool last = step + 1 == walk_length;
+    Walker* frontier = front_.data();
+    // (b) Sample transitions block by block. Records are processed in
+    // bucket order, so consecutive walkers hit the same cache-resident
+    // slice of offsets/targets/alias slots; each record is independent
+    // (own RNG, own walk slot), so the chunk grain is free to cut across
+    // block boundaries.
+    ParallelForNuma(threads_, 0, m, kProcessGrain, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        Walker& w = frontier[i];
+        traj[static_cast<size_t>(w.id) * walk_length + step] = w.cur;
+        if (last) continue;  // final emission: the discarded draw is skipped
+        const NodeId next = SampleNext(w.cur, &w.rng);
+        if (next == kInvalidNode) {
+          // Same semantics as Trajectory(): the token was emitted, the walk
+          // ends here.
+          traj_len[w.id] = static_cast<uint32_t>(step + 1);
+          w.cur = kInvalidNode;
+        } else {
+          w.cur = next;
+        }
+      }
+    });
+  }
+}
+
+Result<FlatCorpus> BatchedWalkGenerator::Generate(Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng is required");
+  if (fallback_) return fallback_->Generate(rng);
+  const size_t n = graph_->NumNodes();
+  visits_.assign(n, 0);
+  if (n == 0 || options_.epochs == 0) return FlatCorpus();
+  // One draw, same as the per-walker engine — all stream seeds derive from
+  // it, so the two engines consume the caller's RNG identically.
+  const uint64_t base_seed = rng->Next();
+  return walk_internal::RunEpochSchedule(
+      n, options_, base_seed, &visits_,
+      [&](size_t epoch, const std::vector<NodeId>& starts, NodeId* traj,
+          uint32_t* traj_len) {
+        StepEpoch(base_seed, epoch, starts, traj, traj_len);
+      });
+}
+
+}  // namespace leva

@@ -1,0 +1,124 @@
+#ifndef LEVA_EMBED_WALKS_BATCHED_H_
+#define LEVA_EMBED_WALKS_BATCHED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "embed/corpus.h"
+#include "embed/walks.h"
+#include "graph/graph.h"
+
+namespace leva {
+
+/// Epoch-synchronous, cache-efficient walk engine (the FlashMob idea,
+/// SOSP'21): instead of one walker pointer-chasing the CSR graph to
+/// completion — a dependent random access per step, catastrophic once the
+/// graph outgrows the last-level cache — ALL of an epoch's walkers advance
+/// in lockstep. Before every step the frontier (a flat array of
+/// (walker id, current vertex, RNG state) records) is counting-sorted by
+/// vertex *block*, a contiguous id range whose CSR adjacency plus alias
+/// slots fit a fixed cache budget. Walkers in the same block then sample
+/// their transitions back to back, so the adjacency reads that were random
+/// across a multi-hundred-MiB graph become near-sequential scans of one
+/// cache-resident block. The sort itself is a streaming two-pass counting
+/// sort — sequential reads, bucket-sequential writes — so the engine trades
+/// latency-bound pointer chasing for bandwidth-bound passes.
+///
+/// Determinism and bit-identity: every walker draws from the same
+/// counter-based RNG stream the per-walker engine uses
+/// (StreamRng(base_seed, kWalk, epoch * n + walker)), streams are consumed
+/// in the same within-walker order, the weighted path samples from alias
+/// slots built by the same BuildAliasSlots routine, and the epoch schedule
+/// (start shuffles, balanced restarts, visit-limit barrier) is the shared
+/// walk_internal::RunEpochSchedule driver. The emitted FlatCorpus is
+/// therefore byte-identical to WalkGenerator::Generate for the same seed,
+/// at every thread count — pinned by the differential suite in
+/// tests/walks_batched_test.cc. Node2vec-biased walks (p or q != 1) need
+/// the previous vertex's neighbor list per step, which defeats the
+/// bucketing; they transparently fall back to an internal per-walker
+/// engine.
+///
+/// NUMA: the frontier double buffers come from node-striped first-touch
+/// storage and the sampling pass runs under ParallelForNuma, so on
+/// multi-socket machines each socket streams the frontier stripe whose
+/// pages it owns (single-node machines take the identical plain-ParallelFor
+/// path).
+class BatchedWalkGenerator {
+ public:
+  BatchedWalkGenerator(const LevaGraph* graph, WalkOptions options);
+  ~BatchedWalkGenerator();
+
+  /// Generates the full corpus; bit-identical to WalkGenerator::Generate
+  /// for the same `rng` state, options, and graph.
+  Result<FlatCorpus> Generate(Rng* rng);
+
+  /// Visit counts from the last Generate call (per node).
+  const std::vector<size_t>& visit_counts() const;
+
+  /// Bytes of the flat alias layout (zero for unweighted walks).
+  size_t AliasMemoryBytes() const;
+
+  /// Vertex-block geometry chosen for this graph (for tests and benches):
+  /// ids are bucketed as `vertex >> block_shift()` into `num_blocks()`
+  /// buckets. Pure function of the graph and options.
+  size_t block_shift() const { return block_shift_; }
+  size_t num_blocks() const { return num_blocks_; }
+
+ private:
+  /// One frontier record. 40 bytes, moved wholesale by the counting sort so
+  /// a walker's RNG state travels with it and every field access during
+  /// sampling is a sequential read of the record just placed.
+  struct Walker {
+    NodeId id;   // index into the epoch's walk slots
+    NodeId cur;  // current vertex, kInvalidNode once the walk ended
+    Rng rng;
+  };
+  static_assert(sizeof(Walker) == 40, "frontier records should stay packed");
+
+  void BuildFlatAlias();
+  void ChooseBlockGeometry();
+  /// Uniform/weighted transition out of `cur`; draw-for-draw identical to
+  /// WalkGenerator::Step for p == q == 1.
+  NodeId SampleNext(NodeId cur, Rng* rng) const;
+  /// Steps one epoch's walks into the slab (see walk_internal::StepEpochFn).
+  void StepEpoch(uint64_t base_seed, size_t epoch,
+                 const std::vector<NodeId>& starts, NodeId* traj,
+                 uint32_t* traj_len);
+  /// Stable counting sort of the first `m` frontier records by vertex
+  /// block, dropping finished records; returns the surviving count.
+  /// Deterministic: bucket layout depends on fixed chunk grain and the
+  /// block map, never on the thread count.
+  size_t BucketFrontier(size_t m);
+
+  const LevaGraph* graph_;
+  WalkOptions options_;
+  size_t threads_ = 1;
+
+  // Flat alias layout, indexed by CSR slot (weighted only): the same values
+  // AliasTable would hold, laid out adjacent to the adjacency they sample.
+  std::vector<double> alias_prob_;
+  std::vector<uint32_t> alias_idx_;
+  // Per node: degree > 0 but zero total weight — the "empty alias table"
+  // case the per-walker engine treats as a dead end.
+  std::vector<uint8_t> alias_empty_;
+
+  size_t block_shift_ = 0;
+  size_t num_blocks_ = 1;
+
+  // Frontier double buffer (node-striped first touch) and sort scratch.
+  NumaArray<Walker> front_;
+  NumaArray<Walker> back_;
+  std::vector<uint64_t> bucket_offsets_;  // (block, chunk)-major cursors
+
+  std::vector<size_t> visits_;
+  // Per-walker fallback for node2vec-biased options; constructed instead of
+  // the flat alias when p or q != 1.
+  std::unique_ptr<WalkGenerator> fallback_;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_EMBED_WALKS_BATCHED_H_

@@ -2,21 +2,27 @@
 
 namespace leva {
 
-AliasTable::AliasTable(const std::vector<double>& weights) {
+bool BuildAliasSlots(std::span<const double> weights, double* prob,
+                     uint32_t* alias, AliasBuildScratch* scratch) {
   const size_t n = weights.size();
-  if (n == 0) return;
+  if (n == 0) return false;
   double total = 0;
   for (double w : weights) total += w;
-  if (total <= 0) return;
+  if (total <= 0) return false;
 
-  prob_.assign(n, 0.0);
-  alias_.assign(n, 0);
-  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    prob[i] = 0.0;
+    alias[i] = 0;
+  }
+  std::vector<double>& scaled = scratch->scaled;
+  scaled.resize(n);
   for (size_t i = 0; i < n; ++i) {
     scaled[i] = weights[i] * static_cast<double>(n) / total;
   }
-  std::vector<uint32_t> small;
-  std::vector<uint32_t> large;
+  std::vector<uint32_t>& small = scratch->small;
+  std::vector<uint32_t>& large = scratch->large;
+  small.clear();
+  large.clear();
   small.reserve(n);
   large.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -27,18 +33,34 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
     small.pop_back();
     const uint32_t l = large.back();
     large.pop_back();
-    prob_[s] = scaled[s];
-    alias_[s] = l;
+    prob[s] = scaled[s];
+    alias[s] = l;
     scaled[l] = scaled[l] + scaled[s] - 1.0;
     (scaled[l] < 1.0 ? small : large).push_back(l);
   }
   while (!large.empty()) {
-    prob_[large.back()] = 1.0;
+    prob[large.back()] = 1.0;
     large.pop_back();
   }
   while (!small.empty()) {
-    prob_[small.back()] = 1.0;
+    prob[small.back()] = 1.0;
     small.pop_back();
+  }
+  return true;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  if (n == 0) return;
+  prob_.resize(n);
+  alias_.resize(n);
+  AliasBuildScratch scratch;
+  if (!BuildAliasSlots({weights.data(), n}, prob_.data(), alias_.data(),
+                       &scratch)) {
+    prob_.clear();
+    alias_.clear();
+    prob_.shrink_to_fit();
+    alias_.shrink_to_fit();
   }
 }
 

@@ -2,11 +2,30 @@
 #define LEVA_GRAPH_ALIAS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace leva {
+
+/// Reusable scratch buffers for BuildAliasSlots, so bulk builders (one table
+/// per graph node) pay zero allocations per node after warmup.
+struct AliasBuildScratch {
+  std::vector<double> scaled;
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+};
+
+/// Builds Walker alias-method slots for `weights` into caller-owned storage:
+/// prob[i] / alias[i] for i < weights.size(). Returns false — writing
+/// nothing — when the distribution is empty or all-zero (the "empty table"
+/// case; sampling from it is invalid). This is the single construction
+/// routine behind both AliasTable and the batched walk engine's flat
+/// CSR-indexed layout, so the two produce bit-identical slot values and
+/// therefore bit-identical sample streams for the same Rng state.
+bool BuildAliasSlots(std::span<const double> weights, double* prob,
+                     uint32_t* alias, AliasBuildScratch* scratch);
 
 /// Walker's alias method: O(n) preprocessing, O(1) draws from an arbitrary
 /// discrete distribution. Used for weighted random-walk transitions

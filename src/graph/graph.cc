@@ -285,6 +285,54 @@ LevaGraph GraphBuilder::Build() && {
   return g;
 }
 
+Result<LevaGraph> GraphFromCsr(std::vector<NodeKind> kinds,
+                               std::vector<std::string> labels,
+                               std::vector<uint64_t> offsets,
+                               std::vector<NodeId> targets,
+                               std::vector<float> weights) {
+  const size_t n = kinds.size();
+  if (offsets.size() != n + 1) {
+    return Status::InvalidArgument("offsets must have one entry per node + 1");
+  }
+  if (offsets.front() != 0 || offsets.back() != targets.size()) {
+    return Status::InvalidArgument("offsets must span exactly the targets");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument("offsets must be non-decreasing");
+    }
+  }
+  for (const NodeId t : targets) {
+    if (t >= n) return Status::OutOfRange("target node id out of range");
+  }
+  if (!labels.empty() && labels.size() != n) {
+    return Status::InvalidArgument("labels must be empty or one per node");
+  }
+  if (!weights.empty() && weights.size() != targets.size()) {
+    return Status::InvalidArgument(
+        "weights must be empty or one per directed edge slot");
+  }
+  LevaGraph g;
+  g.kinds_ = std::move(kinds);
+  if (labels.empty()) labels.resize(n);
+  g.labels_ = std::move(labels);
+  for (NodeId i = 0; i < n; ++i) {
+    if (g.kinds_[i] == NodeKind::kValue && !g.labels_[i].empty()) {
+      g.value_index_.emplace(g.labels_[i], i);
+    }
+  }
+  if (weights.empty()) weights.assign(targets.size(), 1.0f);
+  g.offsets_ = std::move(offsets);
+  g.targets_ = std::move(targets);
+  g.weights_ = std::move(weights);
+  for (NodeKind k : g.kinds_) {
+    if (k == NodeKind::kRow) ++g.stats_.row_nodes;
+    else ++g.stats_.value_nodes;
+  }
+  g.stats_.edges = g.targets_.size() / 2;
+  return g;
+}
+
 Result<LevaGraph> BuildGraph(const std::vector<TextifiedTable>& tables,
                              size_t total_attributes,
                              const GraphOptions& options) {

@@ -120,6 +120,11 @@ class LevaGraph {
   friend class GraphBuilder;
   friend Result<LevaGraph> BuildGraph(const std::vector<TextifiedTable>&,
                                       size_t, const GraphOptions&);
+  friend Result<LevaGraph> GraphFromCsr(std::vector<NodeKind>,
+                                        std::vector<std::string>,
+                                        std::vector<uint64_t>,
+                                        std::vector<NodeId>,
+                                        std::vector<float>);
 
   std::vector<NodeKind> kinds_;
   std::vector<std::string> labels_;
@@ -163,6 +168,25 @@ class GraphBuilder {
   std::vector<float> edge_weights_;
   std::unordered_map<std::string, std::pair<NodeId, size_t>> row_index_;
 };
+
+/// Bulk constructor adopting prebuilt CSR arrays without the edge-list
+/// detour GraphBuilder takes (which materializes every edge twice before
+/// sorting). This is the path for synthetic benchmark graphs in the 10M+
+/// edge range, where the builder's per-node gather/sort would dominate.
+///
+/// `offsets` must have kinds.size() + 1 entries, start at 0, be
+/// non-decreasing, and end at targets.size(); every target must be a valid
+/// node id. `labels` may be empty (benchmark graphs have no textual
+/// identity) — it is sized to the node count and the value-node index stays
+/// empty. `weights` may be empty, meaning uniform 1.0 per directed slot.
+/// Adjacency is adopted as given: neighbor lists are NOT re-sorted, which
+/// uniform and weighted first-order walks never require (node2vec's
+/// binary-searched adjacency does — build those graphs via GraphBuilder).
+Result<LevaGraph> GraphFromCsr(std::vector<NodeKind> kinds,
+                               std::vector<std::string> labels,
+                               std::vector<uint64_t> offsets,
+                               std::vector<NodeId> targets,
+                               std::vector<float> weights);
 
 /// Runs Algorithm 1: node/edge construction from textified tables, the
 /// attribute-voting refinement, and edge weighting.

@@ -265,7 +265,10 @@ TEST(SnapshotTest, RejectsV1SnapshotNamingBothVersions) {
     EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
     EXPECT_NE(s.message().find("version 1"), std::string::npos)
         << s.ToString();
-    EXPECT_NE(s.message().find("version 2"), std::string::npos)
+    EXPECT_NE(s.message().find(
+                  "version " +
+                  std::to_string(LevaPipeline::kSnapshotVersion)),
+              std::string::npos)
         << s.ToString();
     EXPECT_NE(s.message().find("re-save"), std::string::npos) << s.ToString();
   }

@@ -1,0 +1,245 @@
+// Differential suite pinning the batched walk engine to the per-walker one:
+// for a fixed seed the two must emit byte-identical corpora and visit counts
+// at every thread count, across uniform and weighted transitions, visit
+// limits, and balanced restarts. This is the contract that makes
+// WalkOptions::engine a pure performance knob.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "embed/walks.h"
+#include "embed/walks_batched.h"
+#include "graph/graph.h"
+
+namespace leva {
+namespace {
+
+LevaGraph PowerLawGraph(bool weighted, size_t nodes = 512,
+                        size_t edges = 4000) {
+  PowerLawGraphConfig config;
+  config.nodes = nodes;
+  config.target_edges = edges;
+  config.weighted = weighted;
+  config.seed = 7;
+  auto g = GeneratePowerLawGraph(config);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+// Hand-built CSR exercising the awkward cases: an isolated node (walks die
+// immediately), a node whose edges all weigh zero (the "empty alias table"
+// dead end), and a pendant chain.
+LevaGraph EdgeCaseGraph() {
+  // 0 -- 1 -- 2 (triangle with 0-2), 3 isolated, 4 -- 5 with zero weights.
+  std::vector<NodeKind> kinds(6, NodeKind::kValue);
+  std::vector<uint64_t> offsets = {0, 2, 4, 6, 6, 7, 8};
+  std::vector<NodeId> targets = {1, 2, 0, 2, 0, 1, 5, 4};
+  std::vector<float> weights = {1.f, 2.f, 1.f, 0.5f, 2.f, 0.5f, 0.f, 0.f};
+  auto g = GraphFromCsr(std::move(kinds), {}, std::move(offsets),
+                        std::move(targets), std::move(weights));
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+void ExpectIdenticalCorpora(const LevaGraph& g, WalkOptions options,
+                            uint64_t seed) {
+  options.engine = WalkEngine::kWalker;
+  WalkGenerator walker(&g, options);
+  Rng r1(seed);
+  const auto reference = walker.Generate(&r1);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    WalkOptions batched_options = options;
+    batched_options.threads = threads;
+    batched_options.engine = WalkEngine::kBatched;
+    BatchedWalkGenerator batched(&g, batched_options);
+    Rng r2(seed);
+    const auto corpus = batched.Generate(&r2);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    ASSERT_EQ(corpus->tokens(), reference->tokens()) << threads << " threads";
+    ASSERT_EQ(corpus->offsets(), reference->offsets())
+        << threads << " threads";
+    EXPECT_EQ(batched.visit_counts(), walker.visit_counts())
+        << threads << " threads";
+  }
+}
+
+TEST(BatchedWalksTest, BitIdenticalToWalkerUniform) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/false);
+  WalkOptions options;
+  options.epochs = 4;
+  options.walk_length = 20;
+  options.weighted = false;
+  ExpectIdenticalCorpora(g, options, 2024);
+}
+
+TEST(BatchedWalksTest, BitIdenticalToWalkerWeighted) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/true);
+  WalkOptions options;
+  options.epochs = 4;
+  options.walk_length = 20;
+  options.weighted = true;
+  ExpectIdenticalCorpora(g, options, 99);
+}
+
+TEST(BatchedWalksTest, BitIdenticalWithVisitLimit) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/true);
+  WalkOptions options;
+  options.epochs = 4;
+  options.walk_length = 20;
+  options.weighted = true;
+  options.visit_limit = 30;
+  ExpectIdenticalCorpora(g, options, 5);
+}
+
+TEST(BatchedWalksTest, BitIdenticalWithBalancedRestarts) {
+  for (const bool weighted : {false, true}) {
+    const LevaGraph g = PowerLawGraph(weighted);
+    WalkOptions options;
+    options.epochs = 6;
+    options.walk_length = 15;
+    options.weighted = weighted;
+    options.balanced_restarts = true;
+    options.restart_epochs = 2;
+    ExpectIdenticalCorpora(g, options, 17);
+  }
+}
+
+TEST(BatchedWalksTest, BitIdenticalOnDeadEndsAndZeroWeights) {
+  const LevaGraph g = EdgeCaseGraph();
+  for (const bool weighted : {false, true}) {
+    WalkOptions options;
+    options.epochs = 5;
+    options.walk_length = 12;
+    options.weighted = weighted;
+    ExpectIdenticalCorpora(g, options, 333);
+  }
+}
+
+TEST(BatchedWalksTest, Node2vecFallsBackBitIdentically) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/false, 128, 600);
+  WalkOptions options;
+  options.epochs = 3;
+  options.walk_length = 10;
+  options.weighted = false;
+  options.p = 2.0;
+  options.q = 0.5;
+  ExpectIdenticalCorpora(g, options, 11);
+}
+
+TEST(BatchedWalksTest, EmptyGraphAndZeroEpochs) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/false, 16, 40);
+  WalkOptions options;
+  options.weighted = false;
+  options.epochs = 0;
+  BatchedWalkGenerator gen(&g, options);
+  Rng rng(1);
+  const uint64_t before = Rng(1).Next();
+  auto corpus = gen.Generate(&rng);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 0u);
+  // The zero-epoch early-out must not consume the caller's RNG (the
+  // per-walker engine does not either).
+  EXPECT_EQ(rng.Next(), before);
+  EXPECT_FALSE(gen.Generate(nullptr).ok());
+}
+
+TEST(BatchedWalksTest, WorkingSetBytesCountsAliasStorage) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/true, 64, 300);
+  const size_t unweighted = WalkWorkingSetBytes(g, false);
+  const size_t weighted = WalkWorkingSetBytes(g, true);
+  const size_t slots = g.targets().size();
+  EXPECT_EQ(unweighted,
+            (g.NumNodes() + 1) * sizeof(uint64_t) + slots * sizeof(NodeId));
+  EXPECT_EQ(weighted, unweighted +
+                          slots * (sizeof(double) + sizeof(uint32_t)) +
+                          g.NumNodes());
+}
+
+TEST(BatchedWalksTest, ResolveWalkEngineRules) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/true, 64, 300);
+  WalkOptions options;
+  options.weighted = true;
+
+  options.engine = WalkEngine::kWalker;
+  EXPECT_EQ(ResolveWalkEngine(g, options), WalkEngine::kWalker);
+  options.engine = WalkEngine::kBatched;
+  EXPECT_EQ(ResolveWalkEngine(g, options), WalkEngine::kBatched);
+
+  // kAuto: threshold decides.
+  options.engine = WalkEngine::kAuto;
+  options.batched_auto_threshold_bytes = size_t{1} << 40;
+  EXPECT_EQ(ResolveWalkEngine(g, options), WalkEngine::kWalker);
+  options.batched_auto_threshold_bytes = 1;
+  EXPECT_EQ(ResolveWalkEngine(g, options), WalkEngine::kBatched);
+
+  // Node2vec bias always forces the per-walker engine.
+  options.engine = WalkEngine::kBatched;
+  options.q = 0.5;
+  EXPECT_EQ(ResolveWalkEngine(g, options), WalkEngine::kWalker);
+}
+
+TEST(BatchedWalksTest, BlockGeometryIsPureFunctionOfGraph) {
+  const LevaGraph g = PowerLawGraph(/*weighted=*/true, 512, 4000);
+  WalkOptions options;
+  options.weighted = true;
+  options.threads = 1;
+  BatchedWalkGenerator a(&g, options);
+  options.threads = 8;
+  BatchedWalkGenerator b(&g, options);
+  EXPECT_EQ(a.block_shift(), b.block_shift());
+  EXPECT_EQ(a.num_blocks(), b.num_blocks());
+  EXPECT_GE(a.num_blocks(), 1u);
+  EXPECT_EQ(((g.NumNodes() - 1) >> a.block_shift()) + 1, a.num_blocks());
+}
+
+// End to end: two Fits differing only in the walk engine must produce the
+// exact same embedding store (Word2Vec's deterministic mode trains on the
+// corpus bytes, which the engines agree on).
+TEST(BatchedWalksTest, PipelineFitIsEngineInvariant) {
+  SyntheticConfig data;
+  data.base_rows = 120;
+  data.dims.push_back({});
+  data.dims.back().name = "d1";
+  data.dims.back().rows = 40;
+  auto ds = GenerateSynthetic(data);
+  ASSERT_TRUE(ds.ok());
+
+  LevaConfig config;
+  config.method = EmbeddingMethod::kRandomWalk;
+  config.embedding_dim = 8;
+  config.walks.epochs = 3;
+  config.walks.walk_length = 10;
+  config.word2vec.epochs = 1;
+  config.seed = 5;
+
+  config.walks.engine = WalkEngine::kWalker;
+  LevaPipeline walker_pipeline(config);
+  ASSERT_TRUE(walker_pipeline.Fit(ds->db).ok());
+  config.walks.engine = WalkEngine::kBatched;
+  LevaPipeline batched_pipeline(config);
+  ASSERT_TRUE(batched_pipeline.Fit(ds->db).ok());
+
+  EXPECT_EQ(walker_pipeline.profile().annotation("walk_generation"),
+            "engine=walker");
+  EXPECT_EQ(batched_pipeline.profile().annotation("walk_generation"),
+            "engine=batched");
+
+  const Embedding& w = walker_pipeline.embedding();
+  const Embedding& b = batched_pipeline.embedding();
+  ASSERT_EQ(w.size(), b.size());
+  ASSERT_EQ(w.dim(), b.dim());
+  for (const std::string& key : w.keys()) {
+    const auto wv = w.Get(key);
+    const auto bv = b.Get(key);
+    ASSERT_EQ(wv.size(), bv.size()) << key;
+    EXPECT_TRUE(std::equal(wv.begin(), wv.end(), bv.begin())) << key;
+  }
+}
+
+}  // namespace
+}  // namespace leva

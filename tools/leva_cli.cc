@@ -52,6 +52,8 @@ void PrintUsage() {
       "                [--dim N] [--method auto|mf|rw] [--bins N]\n"
       "                [--theta-range F] [--theta-min F] [--unweighted]\n"
       "                [--seed N] [--threads N (0 = all hardware threads)]\n"
+      "                [--walk-engine auto|walker|batched (rw corpus engine; "
+      "bit-identical output, perf only)]\n"
       "                [--featurize TABLE TARGET OUT.csv]\n"
       "                [--featurize-batch-size N (rows per serving batch; "
       "0 = whole table)]\n"
@@ -137,6 +139,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         options->config.method = EmbeddingMethod::kAuto;
       } else {
         std::fprintf(stderr, "unknown method '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--walk-engine") {
+      const char* v = next("--walk-engine");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "auto") == 0) {
+        options->config.walks.engine = WalkEngine::kAuto;
+      } else if (std::strcmp(v, "walker") == 0) {
+        options->config.walks.engine = WalkEngine::kWalker;
+      } else if (std::strcmp(v, "batched") == 0) {
+        options->config.walks.engine = WalkEngine::kBatched;
+      } else {
+        std::fprintf(stderr, "unknown walk engine '%s'\n", v);
         return false;
       }
     } else if (arg == "--featurize-batch-size") {
@@ -237,6 +252,11 @@ int RunCli(const CliOptions& options) {
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
     std::fprintf(stderr, "fit in %.3fs\n", elapsed.count());
+    for (const auto& [stage, secs] : pipeline.profile().stages()) {
+      const std::string& note = pipeline.profile().annotation(stage);
+      std::fprintf(stderr, "  %s: %.3fs%s%s\n", stage.c_str(), secs,
+                   note.empty() ? "" : " ", note.c_str());
+    }
   }
   if (!options.save_model.empty()) {
     const auto t0 = std::chrono::steady_clock::now();
