@@ -2,6 +2,8 @@
 #define LEVA_COMMON_SIMD_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 // Shared SIMD plumbing for the hot kernels (featurize gather, skip-gram
 // training): a multi-versioning macro, a prefetch shim, and the inline
@@ -200,6 +202,76 @@ LEVA_ALWAYS_INLINE void VecAddDelta(double* x, const double* a, const double* b,
   const double* __restrict cur = a;
   const double* __restrict orig = b;
   for (size_t j = 0; j < n; ++j) out[j] += cur[j] - orig[j];
+}
+
+// ---------------------------------------------------------------------------
+// Quantized-tier primitives (storage tiers of the embedding matrix; see
+// DESIGN.md "Quantized serving"). bf16 is the upper 16 bits of an IEEE fp32:
+// widening bf16 -> fp32 -> fp64 is exact (a bit shift plus a lossless float
+// promotion), so only the encode direction rounds. int8 rows carry a per-row
+// scale: value = scale * q with q in [-127, 127]. The fused gather kernels
+// below compute `acc[j] += w * (scale * q[j])` with exactly the rounding
+// sequence of the reference path (dequantize the element, then weight it,
+// then accumulate) — folding `w * scale` into one factor would round
+// differently and break the fast-vs-legacy bit-parity tests.
+
+/// Widens a bf16 pattern to fp32. Exact: bf16 is a truncated fp32.
+LEVA_ALWAYS_INLINE float Bf16ToFloat(uint16_t b) {
+  const uint32_t u = static_cast<uint32_t>(b) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+/// Narrows fp32 to bf16 with round-to-nearest-even on the dropped 16 bits.
+/// Callers feed finite values only (the embedding store rejects NaN/Inf);
+/// for finite inputs the carry out of the rounding add is the correct
+/// exponent increment, so no special cases are needed.
+LEVA_ALWAYS_INLINE uint16_t Bf16FromFloat(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  u += 0x7FFFu + ((u >> 16) & 1u);
+  return static_cast<uint16_t>(u >> 16);
+}
+
+/// acc[j] += w * widen(src[j]) over a bf16 row. The widen is exact, so each
+/// element costs the same two roundings (mul, add) as the fp64 gather.
+LEVA_ALWAYS_INLINE void GatherAddBf16(double* acc, const uint16_t* src, double w,
+                                      size_t n) {
+  double* __restrict a = acc;
+  const uint16_t* __restrict s = src;
+  for (size_t j = 0; j < n; ++j) {
+    a[j] += w * static_cast<double>(Bf16ToFloat(s[j]));
+  }
+}
+
+/// acc[j] += w * (scale * src[j]) over an int8 row with per-row scale.
+/// `scale * q` is rounded first (matching the reference dequantize-then-
+/// weight order), then weighted, then accumulated — do not reassociate.
+LEVA_ALWAYS_INLINE void DequantGatherAdd(double* acc, const int8_t* src,
+                                         double scale, double w, size_t n) {
+  double* __restrict a = acc;
+  const int8_t* __restrict s = src;
+  for (size_t j = 0; j < n; ++j) {
+    a[j] += w * (scale * static_cast<double>(s[j]));
+  }
+}
+
+/// out[j] = widen(src[j]): materializes one bf16 row as fp64 (exact).
+LEVA_ALWAYS_INLINE void DequantRowBf16(double* out, const uint16_t* src,
+                                       size_t n) {
+  double* __restrict o = out;
+  const uint16_t* __restrict s = src;
+  for (size_t j = 0; j < n; ++j) o[j] = static_cast<double>(Bf16ToFloat(s[j]));
+}
+
+/// out[j] = scale * src[j]: materializes one int8 row as fp64. One rounding
+/// per element — the same bits every consumer of a dequantized row sees.
+LEVA_ALWAYS_INLINE void DequantRowI8(double* out, const int8_t* src,
+                                     double scale, size_t n) {
+  double* __restrict o = out;
+  const int8_t* __restrict s = src;
+  for (size_t j = 0; j < n; ++j) o[j] = scale * static_cast<double>(s[j]);
 }
 
 }  // namespace simd

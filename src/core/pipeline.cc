@@ -43,11 +43,15 @@ constexpr size_t kPrefetchDist = 4;
 // (embedding row pointer, weight) per token — null for unseen tokens — with
 // offsets local to the batch. Resolving down to raw row pointers in phase 1
 // turns the phase-2 gather into a flat array walk whose loads software
-// prefetch can cover.
+// prefetch can cover. The pointer is typed by the store's tier (fp64, bf16,
+// or int8 row — the gather dispatches once per chunk, not per token); for
+// int8 rows `scale` carries the per-row dequantization factor so the hot
+// loop never touches the scales array.
 struct ResolvedColumn {
   struct Occ {
-    const double* vec;
+    const void* vec;
     double weight;
+    double scale;
   };
   std::vector<Occ> occ;
   std::vector<size_t> offsets;
@@ -69,10 +73,20 @@ struct ResolvedColumn {
 // When `dup_to_row` is set (held-out rows under Row+Value), the scaled
 // vector is stored to the row half in the same pass instead of a separate
 // copy loop — same values, one less sweep over the matrix.
-LEVA_TARGET_CLONES
-void GatherChunk(const ResolvedColumn* cols, size_t num_cols, size_t dim,
-                 double* x, size_t width, size_t off, size_t b0, size_t begin,
-                 size_t end, bool dup_to_row) {
+//
+// The accumulate step is tier-templated: quantized stores (bf16/int8) fuse
+// element-wise dequantization into the same pass via the simd.h kernels, so
+// a quantized row costs one load of its compressed bytes — no fp64 row is
+// ever materialized. The dequantize-then-weight rounding order matches what
+// the row-at-a-time path sees through Embedding::Get, keeping the fast and
+// legacy paths bit-identical at every tier. Each LEVA_TARGET_CLONES wrapper
+// below instantiates one tier, dispatched once per chunk.
+template <StorageTier kTier>
+LEVA_ALWAYS_INLINE void GatherChunkImpl(const ResolvedColumn* cols,
+                                        size_t num_cols, size_t dim, double* x,
+                                        size_t width, size_t off, size_t b0,
+                                        size_t begin, size_t end,
+                                        bool dup_to_row) {
   std::vector<double> acc(dim);  // zero-initialized; re-zeroed after each row
   for (size_t r = begin; r < end; ++r) {
     double* __restrict a = acc.data();
@@ -91,8 +105,15 @@ void GatherChunk(const ResolvedColumn* cols, size_t num_cols, size_t dim,
         const double w = o.weight;
         total_weight += w;
         touched = true;
-        const double* __restrict vec = o.vec;
-        for (size_t j = 0; j < dim; ++j) a[j] += w * vec[j];
+        if constexpr (kTier == StorageTier::kBf16) {
+          simd::GatherAddBf16(a, static_cast<const uint16_t*>(o.vec), w, dim);
+        } else if constexpr (kTier == StorageTier::kInt8) {
+          simd::DequantGatherAdd(a, static_cast<const int8_t*>(o.vec), o.scale,
+                                 w, dim);
+        } else {
+          const double* __restrict vec = static_cast<const double*>(o.vec);
+          for (size_t j = 0; j < dim; ++j) a[j] += w * vec[j];
+        }
       }
     }
     // total_weight == 0 leaves the (already zero) matrix row untouched,
@@ -118,6 +139,51 @@ void GatherChunk(const ResolvedColumn* cols, size_t num_cols, size_t dim,
       for (size_t j = 0; j < dim; ++j) a[j] = 0.0;
     }
   }
+}
+
+// One multi-versioned outer function per tier (the clones recompile the
+// inlined kernels with their ISA — see simd.h), plus the per-chunk dispatch.
+LEVA_TARGET_CLONES
+void GatherChunkF64(const ResolvedColumn* cols, size_t num_cols, size_t dim,
+                    double* x, size_t width, size_t off, size_t b0,
+                    size_t begin, size_t end, bool dup_to_row) {
+  GatherChunkImpl<StorageTier::kFp64>(cols, num_cols, dim, x, width, off, b0,
+                                      begin, end, dup_to_row);
+}
+
+LEVA_TARGET_CLONES
+void GatherChunkBf16(const ResolvedColumn* cols, size_t num_cols, size_t dim,
+                     double* x, size_t width, size_t off, size_t b0,
+                     size_t begin, size_t end, bool dup_to_row) {
+  GatherChunkImpl<StorageTier::kBf16>(cols, num_cols, dim, x, width, off, b0,
+                                      begin, end, dup_to_row);
+}
+
+LEVA_TARGET_CLONES
+void GatherChunkI8(const ResolvedColumn* cols, size_t num_cols, size_t dim,
+                   double* x, size_t width, size_t off, size_t b0,
+                   size_t begin, size_t end, bool dup_to_row) {
+  GatherChunkImpl<StorageTier::kInt8>(cols, num_cols, dim, x, width, off, b0,
+                                      begin, end, dup_to_row);
+}
+
+void GatherChunk(StorageTier tier, const ResolvedColumn* cols, size_t num_cols,
+                 size_t dim, double* x, size_t width, size_t off, size_t b0,
+                 size_t begin, size_t end, bool dup_to_row) {
+  switch (tier) {
+    case StorageTier::kBf16:
+      GatherChunkBf16(cols, num_cols, dim, x, width, off, b0, begin, end,
+                      dup_to_row);
+      return;
+    case StorageTier::kInt8:
+      GatherChunkI8(cols, num_cols, dim, x, width, off, b0, begin, end,
+                    dup_to_row);
+      return;
+    case StorageTier::kFp64:
+      break;
+  }
+  GatherChunkF64(cols, num_cols, dim, x, width, off, b0, begin, end,
+                 dup_to_row);
 }
 
 }  // namespace
@@ -400,6 +466,11 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
     LEVA_ASSIGN_OR_RETURN(ds.y[r], encoder.Encode(table.at(r, target_idx)));
   }
 
+  // Hoisted tier dispatch: the store's precision is fixed for the life of
+  // this pinned state, so phase 1 resolves to tier-typed row pointers and
+  // phase 2 picks the matching gather clone once per chunk.
+  const StorageTier tier = s.embedding.tier();
+
   // Row-only featurization of in-graph rows never consults the tokens.
   const bool need_tokens = row_plus_value || !rows_in_graph;
   std::vector<const Column*> token_cols;
@@ -436,10 +507,19 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
         fs.token_occurrences += tc.tokens.size();
         const auto resolved = [&](uint32_t id) -> ResolvedColumn::Occ {
           const TokenResolver::Entry& e = resolver.entry(id);
-          return {e.embedding_id == Embedding::kInvalidId
-                      ? nullptr
-                      : s.embedding.RowPtr(e.embedding_id),
-                  e.weight};
+          if (e.embedding_id == Embedding::kInvalidId) {
+            return {nullptr, e.weight, 0.0};
+          }
+          switch (tier) {
+            case StorageTier::kBf16:
+              return {s.embedding.Bf16RowPtr(e.embedding_id), e.weight, 0.0};
+            case StorageTier::kInt8:
+              return {s.embedding.Int8RowPtr(e.embedding_id), e.weight,
+                      static_cast<double>(s.embedding.RowScale(e.embedding_id))};
+            case StorageTier::kFp64:
+              break;
+          }
+          return {s.embedding.RowPtr(e.embedding_id), e.weight, 0.0};
         };
         if (!tc.dict_ids.empty()) {
           // Dictionary-encoded (binned) column: resolve each distinct dict
@@ -458,7 +538,7 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
         }
         // Pad so the gather's look-ahead prefetch never needs a bounds check.
         cols[i].occ.resize(cols[i].occ.size() + kPrefetchDist,
-                           ResolvedColumn::Occ{nullptr, 0.0});
+                           ResolvedColumn::Occ{nullptr, 0.0, 0.0});
       }
       // Per-batch deltas of the cache's monotonic lifetime totals: they sum
       // to the call's cost even across evictions, and stay per-call accurate
@@ -478,14 +558,22 @@ Result<MLDataset> LevaPipeline::Featurize(const Table& table,
         // held-out rows the row half *is* the value slot. Held-out rows
         // under Row+Value duplicate the composed vector into the row half.
         const size_t off = row_plus_value ? dim : 0;
-        GatherChunk(cols.data(), cols.size(), dim, ds.x.RowPtr(0), width, off,
-                    b0, begin, end,
+        GatherChunk(tier, cols.data(), cols.size(), dim, ds.x.RowPtr(0), width,
+                    off, b0, begin, end,
                     /*dup_to_row=*/!rows_in_graph && row_plus_value);
       }
       if (rows_in_graph) {
-        for (size_t r = begin; r < end; ++r) {
-          const double* src = s.embedding.RowPtr(row_ids[r]);
-          std::copy(src, src + dim, ds.x.RowPtr(r));
+        if (tier == StorageTier::kFp64) {
+          for (size_t r = begin; r < end; ++r) {
+            const double* src = s.embedding.RowPtr(row_ids[r]);
+            std::copy(src, src + dim, ds.x.RowPtr(r));
+          }
+        } else {
+          // Quantized row halves: materialize each row once, with the same
+          // per-element rounding the legacy path sees through Get.
+          for (size_t r = begin; r < end; ++r) {
+            s.embedding.DequantizeRow(row_ids[r], ds.x.RowPtr(r));
+          }
         }
       }
     });

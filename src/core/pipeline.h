@@ -63,6 +63,12 @@ struct LevaConfig {
   /// huge tables (the resolver cache itself is bounded by an eviction cap).
   /// 0 = the whole table as one batch. Output is identical for any value.
   size_t featurize_batch_size = 0;
+  /// Storage tier SaveSnapshot writes the embedding matrix at (and therefore
+  /// the tier a loaded snapshot serves from — dequantization is fused into
+  /// the featurize gather, no fp64 matrix is ever materialized). Fitting is
+  /// always fp64; quantization happens at save time. Recorded in the
+  /// snapshot's serialized config.
+  StorageTier quantize_tier = StorageTier::kFp64;
 };
 
 /// Counters from the most recent (batched) Featurize call. `store_lookups`
@@ -92,6 +98,12 @@ struct SnapshotLoadOptions {
   /// save-time page checksums staying valid on disk; VerifyStorage() runs
   /// the deferred check on demand.
   bool verify_pages = true;
+  /// ReloadSnapshot only: reject the swap (leaving the incumbent model
+  /// serving) when the snapshot's embedding storage tier differs from the
+  /// currently served one. Mixed-tier swaps are fully supported — this is an
+  /// operator guard (leva_cli --reload-model sets it) against silently
+  /// changing the serving precision of a live endpoint.
+  bool require_same_tier = false;
 };
 
 /// The Leva system (Fig. 2): textification -> graph construction ->
@@ -288,7 +300,15 @@ class LevaPipeline {
   /// sections with per-page CRC32C so a loader can mmap them in place. A
   /// loaded snapshot serves Featurize bit-identically to this pipeline.
   /// `env` defaults to the real filesystem; tests pass a FaultInjectionEnv.
+  /// The embedding matrix is written at the served config's quantize_tier,
+  /// quantizing on the fly when that differs from the served tier (the
+  /// serving store is never touched); the tier actually written is recorded
+  /// in the snapshot's config. The explicit-tier overload requantizes to
+  /// `tier` regardless of the config (leva_cli --quantize on a loaded
+  /// model).
   Status SaveSnapshot(const std::string& path, Env* env = nullptr) const;
+  Status SaveSnapshot(const std::string& path, StorageTier tier,
+                      Env* env = nullptr) const;
 
   /// Restores a pipeline saved by SaveSnapshot, replacing this pipeline's
   /// state and marking it fitted (serving can skip Fit entirely). Every
@@ -327,9 +347,11 @@ class LevaPipeline {
 
   /// Snapshot format version written by SaveSnapshot. Version 2 introduced
   /// page-aligned, per-page-checksummed bulk sections (mmap-able); version 3
-  /// added the walk-engine selection fields to the serialized config. Older
+  /// added the walk-engine selection fields to the serialized config;
+  /// version 4 added quantized embedding storage tiers (the tier byte in the
+  /// config and embedding sections, and per-tier bulk sections). Older
   /// versions are rejected with an error naming both versions.
-  static constexpr uint32_t kSnapshotVersion = 3;
+  static constexpr uint32_t kSnapshotVersion = 4;
 
  private:
   // Mean of the value-node embeddings of `tokens` into `out` (zeros when no

@@ -1,10 +1,10 @@
 // Versioned, checksummed snapshots of a fitted LevaPipeline.
 //
-// Format v2 layout (all integers little-endian, see common/io.h):
+// Format layout (all integers little-endian, see common/io.h):
 //
 //   manifest:
 //     [8]  magic "LEVASNP1"
-//     [4]  u32 format version (3)
+//     [4]  u32 format version (4)
 //     [4]  u32 config hash       crc32c of the "config" section payload
 //     [4]  u32 section count
 //     per section:
@@ -24,7 +24,10 @@
 // embedding matrix and the graph's CSR adjacency — whose on-disk bytes are
 // exactly their in-memory layout, so a loader can mmap the file and serve
 // them in place (O(pages touched) load, page-cache sharing across
-// processes). Every byte of the file is covered by a checksum or required
+// processes). The embedding matrix is written at the storage tier recorded
+// in the config (v4): "embedding.data" (fp64), "embedding.bf16", or
+// "embedding.q8" + "embedding.scales" (int8 with per-row fp32 scales) — and
+// served at that tier, dequantized on the fly by the featurize gather. Every byte of the file is covered by a checksum or required
 // to be zero: the manifest by the manifest CRC, inline payloads by their
 // section CRCs, bulk payloads (padding included) by their per-page CRCs,
 // and inter-section gaps by an explicit zero check — so heap loads detect
@@ -118,6 +121,7 @@ void SaveConfig(const LevaConfig& c, BufferWriter* out) {
   out->PutU64(c.seed);
   out->PutU64(c.threads);
   out->PutU64(c.featurize_batch_size);
+  out->PutU8(static_cast<uint8_t>(c.quantize_tier));
 }
 
 Status CheckEnum(uint8_t v, uint8_t max, const char* what) {
@@ -203,6 +207,10 @@ Status LoadConfig(BufferReader* in, LevaConfig* c) {
   LEVA_RETURN_IF_ERROR(in->GetU64(&c->seed));
   LEVA_RETURN_IF_ERROR(in->GetU64(&c->threads));
   LEVA_RETURN_IF_ERROR(in->GetU64(&c->featurize_batch_size));
+  LEVA_RETURN_IF_ERROR(in->GetU8(&u8));
+  LEVA_RETURN_IF_ERROR(CheckEnum(
+      u8, static_cast<uint8_t>(StorageTier::kInt8), "storage tier"));
+  c->quantize_tier = static_cast<StorageTier>(u8);
   return Status::OK();
 }
 
@@ -534,14 +542,39 @@ Result<std::shared_ptr<LevaPipeline::ServingState>> LoadState(
         &in, std::move(offsets), std::move(targets), std::move(weights),
         /*validate_structure=*/options.verify_pages));
   }
-  LEVA_ASSIGN_OR_RETURN(
-      OwnedOrMapped<double> data,
-      TakeBulk<double>(path, bulks, "embedding.data", region,
-                       options.use_mmap));
+  // The embedding's vector block arrives at the storage tier recorded in the
+  // config (the save path wrote both), so the loader knows which bulk
+  // sections to take before parsing the embedding metadata; Embedding::Load
+  // then cross-checks its own tier byte against the shape of the storage it
+  // is handed, so a config/embedding tier mismatch is rejected.
+  EmbeddingStorage storage;
+  switch (state->config.quantize_tier) {
+    case StorageTier::kBf16: {
+      LEVA_ASSIGN_OR_RETURN(storage.bf16,
+                            TakeBulk<uint16_t>(path, bulks, "embedding.bf16",
+                                               region, options.use_mmap));
+      break;
+    }
+    case StorageTier::kInt8: {
+      LEVA_ASSIGN_OR_RETURN(storage.q8,
+                            TakeBulk<int8_t>(path, bulks, "embedding.q8",
+                                             region, options.use_mmap));
+      LEVA_ASSIGN_OR_RETURN(storage.scales,
+                            TakeBulk<float>(path, bulks, "embedding.scales",
+                                            region, options.use_mmap));
+      break;
+    }
+    case StorageTier::kFp64: {
+      LEVA_ASSIGN_OR_RETURN(storage.fp64,
+                            TakeBulk<double>(path, bulks, "embedding.data",
+                                             region, options.use_mmap));
+      break;
+    }
+  }
   {
     LEVA_ASSIGN_OR_RETURN(std::string_view b, section("embedding"));
     BufferReader in(b);
-    LEVA_RETURN_IF_ERROR(state->embedding.Load(&in, std::move(data)));
+    LEVA_RETURN_IF_ERROR(state->embedding.Load(&in, std::move(storage)));
   }
 
   state->resolver = TokenResolver(&state->embedding, &state->graph,
@@ -584,17 +617,46 @@ Status LevaPipeline::SaveSnapshot(const std::string& path, Env* env) const {
     return Status::FailedPrecondition(
         "cannot snapshot an unfitted pipeline: call Fit first");
   }
+  // Default: the tier the served model's config asks for, so a fit-then-save
+  // honors the configured --quantize and a load-then-save round-trips the
+  // snapshot's own tier.
+  return SaveSnapshot(path, state->config.quantize_tier, env);
+}
+
+Status LevaPipeline::SaveSnapshot(const std::string& path, StorageTier tier,
+                                  Env* env) const {
+  const std::shared_ptr<const ServingState> state =
+      serving_.load();
+  if (state == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot snapshot an unfitted pipeline: call Fit first");
+  }
   const ServingState& s = *state;
   if (env == nullptr) env = Env::Default();
 
+  // Quantize-on-save: when the served store is not already at the requested
+  // tier, re-encode a private copy off to the side (the serving store is
+  // immutable). The bulk sections below then point at whichever store holds
+  // the bytes being written.
+  Embedding requantized;
+  const Embedding* emb = &s.embedding;
+  if (s.embedding.tier() != tier) {
+    requantized = s.embedding.WithTier(tier);
+    emb = &requantized;
+  }
+  // The serialized config records the tier actually written, so the loader
+  // (and any subsequent re-save) sees this snapshot's true precision.
+  LevaConfig saved_config = s.config;
+  saved_config.quantize_tier = tier;
+
   BufferWriter config;
-  SaveConfig(s.config, &config);
+  SaveConfig(saved_config, &config);
   BufferWriter textifier;
   s.textifier.Save(&textifier);
   BufferWriter graph;
   s.graph.Save(&graph);
   BufferWriter embedding;
-  s.embedding.Save(&embedding);
+  emb->Save(&embedding);
   BufferWriter meta;
   meta.PutU8(static_cast<uint8_t>(s.chosen));
   // The warm serving cache rides along; it resolves against the very stores
@@ -614,7 +676,18 @@ Status LevaPipeline::SaveSnapshot(const std::string& path, Env* env) const {
   bulks.push_back(MakeBulk<uint64_t>("graph.offsets", s.graph.offsets()));
   bulks.push_back(MakeBulk<NodeId>("graph.targets", s.graph.targets()));
   bulks.push_back(MakeBulk<float>("graph.weights", s.graph.edge_weights()));
-  bulks.push_back(MakeBulk<double>("embedding.data", s.embedding.data()));
+  switch (tier) {
+    case StorageTier::kBf16:
+      bulks.push_back(MakeBulk<uint16_t>("embedding.bf16", emb->bf16_data()));
+      break;
+    case StorageTier::kInt8:
+      bulks.push_back(MakeBulk<int8_t>("embedding.q8", emb->int8_data()));
+      bulks.push_back(MakeBulk<float>("embedding.scales", emb->scales()));
+      break;
+    case StorageTier::kFp64:
+      bulks.push_back(MakeBulk<double>("embedding.data", emb->data()));
+      break;
+  }
 
   const uint32_t config_hash = Crc32c(config.data());
   const auto emit_manifest = [&](const std::vector<uint64_t>& offsets) {
@@ -701,6 +774,20 @@ Status LevaPipeline::ReloadSnapshot(const std::string& path, Env* env,
   // such reference drops.
   LEVA_ASSIGN_OR_RETURN(std::shared_ptr<ServingState> state,
                         LoadState(path, env, options));
+  if (options.require_same_tier) {
+    const std::shared_ptr<const ServingState> current = serving_.load();
+    if (current != nullptr &&
+        current->embedding.tier() != state->embedding.tier()) {
+      return Status::FailedPrecondition(
+          "snapshot '" + path + "' stores the embedding at tier " +
+          StorageTierName(state->embedding.tier()) +
+          " but this pipeline currently serves tier " +
+          StorageTierName(current->embedding.tier()) +
+          "; the incumbent model keeps serving — re-save the snapshot at the "
+          "serving tier, or reload without the same-tier requirement to "
+          "change precision deliberately");
+    }
+  }
   serving_.store(std::move(state));
   return Status::OK();
 }

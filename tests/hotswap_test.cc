@@ -228,5 +228,103 @@ TEST(HotSwapTest, FailedReloadKeepsServingIncumbent) {
   EXPECT_TRUE(SameBits(Featurized(serving, t.f), t.out_a));
 }
 
+// Mixed-tier swaps: the reloader alternates an fp64 snapshot and an int8
+// snapshot of the same fitted model (heap and mmap loads alternating too).
+// Quantization makes the two outputs differ, so they form a sharp oracle:
+// every concurrent Featurize call must bit-match exactly one tier's output —
+// a caller pinned to the retiring fp64 model keeps its fp64 vectors even as
+// the int8 store replaces it, and vice versa. Must be TSan-clean.
+TEST(HotSwapTest, MixedTierReloadsServeOneWholeTierPerCall) {
+  Fixture f = MakeFixture();
+  LevaPipeline fitted(TestConfig(5));
+  ASSERT_TRUE(fitted.Fit(f.ds.db).ok());
+  const std::string path_fp64 = TempPath("fp64.leva");
+  const std::string path_int8 = TempPath("int8.leva");
+  ASSERT_TRUE(fitted.SaveSnapshot(path_fp64, StorageTier::kFp64).ok());
+  ASSERT_TRUE(fitted.SaveSnapshot(path_int8, StorageTier::kInt8).ok());
+
+  LevaPipeline ref_fp64, ref_int8;
+  ASSERT_TRUE(ref_fp64.LoadSnapshot(path_fp64).ok());
+  ASSERT_TRUE(ref_int8.LoadSnapshot(path_int8).ok());
+  ASSERT_EQ(ref_fp64.embedding().tier(), StorageTier::kFp64);
+  ASSERT_EQ(ref_int8.embedding().tier(), StorageTier::kInt8);
+  const MLDataset out_fp64 = Featurized(ref_fp64, f);
+  const MLDataset out_int8 = Featurized(ref_int8, f);
+  // Quantization error must actually show up for the oracle to bite.
+  ASSERT_FALSE(SameBits(out_fp64, out_int8));
+
+  LevaPipeline serving;
+  ASSERT_TRUE(serving.LoadSnapshot(path_fp64).ok());
+
+  constexpr int kCallers = 4;
+  constexpr int kCallsPerThread = 12;
+  constexpr int kReloads = 24;
+  std::atomic<int> blends{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const MLDataset out = Featurized(serving, f);
+        if (!SameBits(out, out_fp64) && !SameBits(out, out_int8)) {
+          blends.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread reloader([&] {
+    SnapshotLoadOptions mmap_opts;
+    mmap_opts.use_mmap = true;
+    for (int i = 0; i < kReloads; ++i) {
+      const std::string& path = (i % 2 == 0) ? path_int8 : path_fp64;
+      const SnapshotLoadOptions opts =
+          (i % 4 < 2) ? mmap_opts : SnapshotLoadOptions{};
+      const Status s = serving.ReloadSnapshot(path, nullptr, opts);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+  });
+
+  for (std::thread& th : callers) th.join();
+  reloader.join();
+
+  EXPECT_EQ(blends.load(), 0)
+      << "a Featurize call observed a cross-tier blend";
+  const MLDataset final_out = Featurized(serving, f);
+  EXPECT_TRUE(SameBits(final_out, out_fp64) || SameBits(final_out, out_int8));
+}
+
+// The operator guard: with require_same_tier set, a reload whose snapshot
+// stores a different tier is refused with an error naming both tiers, and
+// the incumbent keeps serving untouched.
+TEST(HotSwapTest, SameTierGuardRejectsCrossTierReload) {
+  Fixture f = MakeFixture();
+  LevaPipeline fitted(TestConfig(5));
+  ASSERT_TRUE(fitted.Fit(f.ds.db).ok());
+  const std::string path_fp64 = TempPath("guard_fp64.leva");
+  const std::string path_int8 = TempPath("guard_int8.leva");
+  ASSERT_TRUE(fitted.SaveSnapshot(path_fp64, StorageTier::kFp64).ok());
+  ASSERT_TRUE(fitted.SaveSnapshot(path_int8, StorageTier::kInt8).ok());
+
+  LevaPipeline serving;
+  ASSERT_TRUE(serving.LoadSnapshot(path_fp64).ok());
+  const MLDataset incumbent = Featurized(serving, f);
+
+  SnapshotLoadOptions strict;
+  strict.require_same_tier = true;
+  const Status s = serving.ReloadSnapshot(path_int8, nullptr, strict);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("int8"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("fp64"), std::string::npos) << s.ToString();
+  EXPECT_EQ(serving.embedding().tier(), StorageTier::kFp64);
+  EXPECT_TRUE(SameBits(Featurized(serving, f), incumbent));
+
+  // The same guard admits a same-tier swap...
+  ASSERT_TRUE(serving.ReloadSnapshot(path_fp64, nullptr, strict).ok());
+  // ...and without the guard the cross-tier swap is a deliberate choice.
+  ASSERT_TRUE(serving.ReloadSnapshot(path_int8).ok());
+  EXPECT_EQ(serving.embedding().tier(), StorageTier::kInt8);
+}
+
 }  // namespace
 }  // namespace leva

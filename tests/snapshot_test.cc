@@ -242,35 +242,42 @@ TEST(SnapshotTest, RejectsVersionSkew) {
       << s.ToString();
 }
 
-// A good-faith format-v1 file (the element-wise layout with a whole-file
-// trailing CRC that predates the page-aligned bulk sections) must be turned
-// away with an error naming both its version and ours — never parsed, never
-// a crash. The fixture is synthesized: v1 had the same 8-byte magic followed
-// by a u32 version field, which is all the v2 reader may look at.
-TEST(SnapshotTest, RejectsV1SnapshotNamingBothVersions) {
-  std::string v1;
-  v1 += "LEVASNP1";                    // family magic, shared across versions
-  const uint32_t version = 1;
-  v1.append(reinterpret_cast<const char*>(&version), sizeof(version));
-  v1 += std::string(256, '\x7f');      // v1 body bytes the v2 reader can't parse
+// A good-faith file in ANY retired format — v1 (element-wise layout with a
+// whole-file trailing CRC), v2 (first page-aligned bulk layout), v3 (walk
+// engine config) — must be turned away with an error naming both its version
+// and ours — never parsed, never a crash. The fixtures are synthesized: every
+// version shares the same 8-byte magic followed by a u32 version field, which
+// is all the v4 reader may look at before rejecting.
+TEST(SnapshotTest, RejectsEveryRetiredVersionNamingBothVersions) {
+  for (uint32_t version = 1; version < LevaPipeline::kSnapshotVersion;
+       ++version) {
+    SCOPED_TRACE("retired format v" + std::to_string(version));
+    std::string old_file;
+    old_file += "LEVASNP1";            // family magic, shared across versions
+    old_file.append(reinterpret_cast<const char*>(&version), sizeof(version));
+    // Body bytes the v4 reader can't parse.
+    old_file += std::string(256, '\x7f');
 
-  const std::string path = TempPath("v1.leva");
-  WriteAll(path, v1);
-  for (const bool use_mmap : {false, true}) {
-    LevaPipeline p;
-    SnapshotLoadOptions opts;
-    opts.use_mmap = use_mmap;
-    const Status s = p.LoadSnapshot(path, nullptr, opts);
-    ASSERT_FALSE(s.ok());
-    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
-    EXPECT_NE(s.message().find("version 1"), std::string::npos)
-        << s.ToString();
-    EXPECT_NE(s.message().find(
-                  "version " +
-                  std::to_string(LevaPipeline::kSnapshotVersion)),
-              std::string::npos)
-        << s.ToString();
-    EXPECT_NE(s.message().find("re-save"), std::string::npos) << s.ToString();
+    const std::string path = TempPath("v" + std::to_string(version) + ".leva");
+    WriteAll(path, old_file);
+    for (const bool use_mmap : {false, true}) {
+      LevaPipeline p;
+      SnapshotLoadOptions opts;
+      opts.use_mmap = use_mmap;
+      const Status s = p.LoadSnapshot(path, nullptr, opts);
+      ASSERT_FALSE(s.ok());
+      EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+      EXPECT_NE(s.message().find("version " + std::to_string(version)),
+                std::string::npos)
+          << s.ToString();
+      EXPECT_NE(s.message().find(
+                    "version " +
+                    std::to_string(LevaPipeline::kSnapshotVersion)),
+                std::string::npos)
+          << s.ToString();
+      EXPECT_NE(s.message().find("re-save"), std::string::npos)
+          << s.ToString();
+    }
   }
 }
 
@@ -635,6 +642,74 @@ TEST(FaultInjectionTest, CrashMidSaveLeavesPreviousSnapshotMmapLoadable) {
                       out.x.data().size() * sizeof(double)) == 0;
       EXPECT_TRUE(is_old || is_new)
           << "mapped recovery serves neither the old nor the new model";
+    }
+  }
+}
+
+// The quantized layout adds bulk sections (embedding.q8, embedding.scales)
+// but must ride the same atomic-rename protocol: a crash at any I/O step of
+// an int8 save overwriting an fp64 snapshot leaves the path serving either
+// the complete old fp64 model or the complete new int8 one, mmap-loadable
+// with eager page verification — never a hybrid of the two layouts.
+TEST(FaultInjectionTest, CrashMidQuantizedSaveLeavesPreviousSnapshotLoadable) {
+  const Fixture f = MakeFixture();
+  LevaPipeline old_model(TestConfig(EmbeddingMethod::kMatrixFactorization));
+  ASSERT_TRUE(old_model.Fit(f.ds.db).ok());
+  LevaConfig new_config = TestConfig(EmbeddingMethod::kMatrixFactorization);
+  new_config.seed = 77;
+  LevaPipeline new_model(new_config);
+  ASSERT_TRUE(new_model.Fit(f.ds.db).ok());
+  const MLDataset old_out = Featurized(old_model, f, true);
+
+  // Reference output of the new model served at int8: save clean, reload.
+  const std::string q_ref_path = TempPath("q_crash_ref.leva");
+  ASSERT_TRUE(new_model.SaveSnapshot(q_ref_path, StorageTier::kInt8).ok());
+  LevaPipeline q_ref;
+  ASSERT_TRUE(q_ref.LoadSnapshot(q_ref_path).ok());
+  ASSERT_EQ(q_ref.embedding().tier(), StorageTier::kInt8);
+  const MLDataset new_q_out = Featurized(q_ref, f, true);
+
+  const std::string path = TempPath("q_crash.leva");
+  FaultInjectionEnv probe;
+  ASSERT_TRUE(new_model.SaveSnapshot(path, StorageTier::kInt8, &probe).ok());
+  const std::string good_old = [&] {
+    const std::string p = TempPath("q_crash_old.leva");
+    EXPECT_TRUE(old_model.SaveSnapshot(p).ok());
+    return ReadAll(p);
+  }();
+
+  SnapshotLoadOptions opts;
+  opts.use_mmap = true;
+  opts.verify_pages = true;
+  for (const OpKind kind : kAllOps) {
+    std::vector<size_t> nths = {1, probe.ops(kind)};
+    for (size_t nth = 2; nth < probe.ops(kind); nth += 5) nths.push_back(nth);
+    for (const size_t nth : nths) {
+      if (nth == 0 || nth > probe.ops(kind)) continue;
+      SCOPED_TRACE(std::string(OpName(kind)) + " #" + std::to_string(nth));
+      WriteAll(path, good_old);
+      FaultInjectionEnv env;
+      env.set_append_fault(FaultInjectionEnv::AppendFault::kTornWrite);
+      env.FailAtOp(kind, nth);
+      EXPECT_FALSE(new_model.SaveSnapshot(path, StorageTier::kInt8, &env).ok());
+
+      LevaPipeline recovered;
+      const Status load = recovered.LoadSnapshot(path, &env, opts);
+      ASSERT_TRUE(load.ok())
+          << "crash mid quantized save left an unloadable snapshot: "
+          << load.ToString();
+      EXPECT_TRUE(recovered.VerifyStorage().ok());
+      const MLDataset out = Featurized(recovered, f, true);
+      const bool is_old =
+          recovered.embedding().tier() == StorageTier::kFp64 &&
+          std::memcmp(out.x.data().data(), old_out.x.data().data(),
+                      out.x.data().size() * sizeof(double)) == 0;
+      const bool is_new =
+          recovered.embedding().tier() == StorageTier::kInt8 &&
+          std::memcmp(out.x.data().data(), new_q_out.x.data().data(),
+                      out.x.data().size() * sizeof(double)) == 0;
+      EXPECT_TRUE(is_old || is_new)
+          << "recovery serves neither the old fp64 nor the new int8 model";
     }
   }
 }

@@ -43,6 +43,10 @@ struct CliOptions {
   std::string reload_model;
   SnapshotLoadOptions load_options;
   LevaConfig config;
+  // True when --quantize was given: --save-model then requantizes to the
+  // requested tier even when the model came from a snapshot at another tier
+  // (whose restored config would otherwise win).
+  bool quantize_set = false;
   bool show_help = false;
 };
 
@@ -57,6 +61,8 @@ void PrintUsage() {
       "                [--featurize TABLE TARGET OUT.csv]\n"
       "                [--featurize-batch-size N (rows per serving batch; "
       "0 = whole table)]\n"
+      "                [--quantize fp64|bf16|int8 (storage tier written by "
+      "--save-model; serving dequantizes on the fly)]\n"
       "                [--save-model FILE (write fitted pipeline snapshot)]\n"
       "                [--load-model FILE (restore snapshot, skip Fit)]\n"
       "                [--mmap (serve bulk arrays zero-copy out of the "
@@ -167,6 +173,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->config.featurize_batch_size = static_cast<size_t>(parsed);
+    } else if (arg == "--quantize") {
+      const char* v = next("--quantize");
+      if (v == nullptr) return false;
+      if (!ParseStorageTier(v, &options->config.quantize_tier)) {
+        std::fprintf(stderr,
+                     "--quantize expects fp64, bf16, or int8, got '%s'\n", v);
+        return false;
+      }
+      options->quantize_set = true;
     } else if (arg == "--save-model") {
       const char* v = next("--save-model");
       if (v == nullptr) return false;
@@ -233,9 +248,11 @@ int RunCli(const CliOptions& options) {
         std::chrono::steady_clock::now() - t0;
     std::fprintf(stderr,
                  "loaded snapshot %s in %.3fs (%zu vectors, dim %zu, "
-                 "%s%s, rss %.1f MiB) — Fit skipped\n",
+                 "tier %s, %zu B/row, %s%s, rss %.1f MiB) — Fit skipped\n",
                  options.load_model.c_str(), elapsed.count(),
                  pipeline.embedding().size(), pipeline.embedding().dim(),
+                 StorageTierName(pipeline.embedding().tier()),
+                 pipeline.embedding().bytes_per_row(),
                  pipeline.uses_mmap() ? "mmap" : "heap",
                  options.load_options.verify_pages ? "" : " lazy",
                  CurrentRssBytes() / (1024.0 * 1024.0));
@@ -259,23 +276,36 @@ int RunCli(const CliOptions& options) {
     }
   }
   if (!options.save_model.empty()) {
+    // --quantize forces the tier explicitly so a model restored from a
+    // snapshot at another tier still gets re-encoded as requested.
+    const StorageTier save_tier = options.config.quantize_tier;
     const auto t0 = std::chrono::steady_clock::now();
-    if (Status s = pipeline.SaveSnapshot(options.save_model); !s.ok()) {
+    Status s = options.quantize_set
+                   ? pipeline.SaveSnapshot(options.save_model, save_tier)
+                   : pipeline.SaveSnapshot(options.save_model);
+    if (!s.ok()) {
       std::fprintf(stderr, "save-model: %s\n", s.ToString().c_str());
       return 1;
     }
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
-    std::fprintf(stderr, "saved snapshot to %s in %.3fs\n",
-                 options.save_model.c_str(), elapsed.count());
+    std::fprintf(stderr, "saved snapshot to %s in %.3fs (tier %s)\n",
+                 options.save_model.c_str(), elapsed.count(),
+                 options.quantize_set
+                     ? StorageTierName(save_tier)
+                     : StorageTierName(pipeline.embedding().tier()));
   }
   if (!options.reload_model.empty()) {
     // Hot swap: the serving model is replaced atomically; calls already in
     // flight would finish on the model they pinned. Here it demonstrates the
     // swap path and reports its latency and memory cost.
+    // An operator-driven reload must not silently change serving precision:
+    // require the incoming snapshot to match the tier already being served.
+    SnapshotLoadOptions reload_options = options.load_options;
+    reload_options.require_same_tier = true;
     const auto t0 = std::chrono::steady_clock::now();
     if (Status s = pipeline.ReloadSnapshot(options.reload_model, nullptr,
-                                           options.load_options);
+                                           reload_options);
         !s.ok()) {
       std::fprintf(stderr, "reload-model: %s\n", s.ToString().c_str());
       return 1;
@@ -283,10 +313,12 @@ int RunCli(const CliOptions& options) {
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
     std::fprintf(stderr,
-                 "hot-swapped to %s in %.3fs (%zu vectors, dim %zu, %s, "
-                 "rss %.1f MiB)\n",
+                 "hot-swapped to %s in %.3fs (%zu vectors, dim %zu, "
+                 "tier %s, %zu B/row, %s, rss %.1f MiB)\n",
                  options.reload_model.c_str(), elapsed.count(),
                  pipeline.embedding().size(), pipeline.embedding().dim(),
+                 StorageTierName(pipeline.embedding().tier()),
+                 pipeline.embedding().bytes_per_row(),
                  pipeline.uses_mmap() ? "mmap" : "heap",
                  CurrentRssBytes() / (1024.0 * 1024.0));
   }
