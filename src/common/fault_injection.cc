@@ -60,6 +60,16 @@ bool FaultInjectionEnv::ShouldFail(OpKind kind) {
   return false;
 }
 
+bool FaultInjectionEnv::ShouldFailRead() {
+  const size_t k = static_cast<size_t>(OpKind::kRead);
+  ++ops_[k];
+  if (fail_at_[k] != 0 && ops_[k] == fail_at_[k]) {
+    crashed_ = true;
+    return true;
+  }
+  return false;
+}
+
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
   if (crashed_) return InjectedError("open after crash");
@@ -69,16 +79,28 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
       new FaultInjectionWritableFile(std::move(base), this));
 }
 
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewAppendableFile(
+    const std::string& path) {
+  if (crashed_) return InjectedError("open after crash");
+  LEVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                        base_->NewAppendableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectionWritableFile(std::move(base), this));
+}
+
 Result<std::string> FaultInjectionEnv::ReadFileToString(
     const std::string& path) {
+  if (ShouldFailRead()) return InjectedError("read");
   return base_->ReadFileToString(path);
 }
 
 Result<std::shared_ptr<const MappedRegion>>
 FaultInjectionEnv::NewMmapReadableFile(const std::string& path) {
-  // Reads pass through even after a crash (the "restarted" process maps the
-  // file fresh), but go via a heap-backed region so the bad-page mode can
-  // corrupt the served bytes without touching the file on disk.
+  // Reads pass through even after a write crash (the "restarted" process
+  // maps the file fresh) but are themselves injectable (kRead). They go via
+  // a heap-backed region so the bad-page mode can corrupt the served bytes
+  // without touching the file on disk.
+  if (ShouldFailRead()) return InjectedError("read for mapping");
   LEVA_ASSIGN_OR_RETURN(std::string bytes, base_->ReadFileToString(path));
   if (bad_page_ != kNoBadPage) {
     const size_t pos = bad_page_ * bad_page_size_;

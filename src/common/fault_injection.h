@@ -19,7 +19,10 @@ namespace leva {
 /// Once an injected fault fires, the env enters a "crashed" state: every
 /// further mutating operation fails too, modeling a process that died at
 /// that instant (a real crash never gets to run the remaining steps).
-/// Reads always pass through, so a test can immediately "restart" and load.
+/// Reads are exempt from the crashed gate, so a test can immediately
+/// "restart" and load — but they are themselves injectable fault points
+/// (OpKind::kRead, fail-Nth like the write side) so replay/load paths can be
+/// crash-tested too.
 class FaultInjectionEnv : public Env {
  public:
   enum class OpKind : size_t {
@@ -28,8 +31,9 @@ class FaultInjectionEnv : public Env {
     kClose,       ///< WritableFile::Close
     kRename,      ///< Env::RenameFile
     kSyncDir,     ///< Env::SyncDir
+    kRead,        ///< Env::ReadFileToString / Env::NewMmapReadableFile
   };
-  static constexpr size_t kNumOpKinds = 5;
+  static constexpr size_t kNumOpKinds = 6;
 
   /// How an armed Append fault manifests.
   enum class AppendFault {
@@ -80,6 +84,8 @@ class FaultInjectionEnv : public Env {
   // Env interface.
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
   Result<std::string> ReadFileToString(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;
@@ -94,6 +100,13 @@ class FaultInjectionEnv : public Env {
   // Accounts one operation of `kind`; returns true when it must fail (and
   // flips the env into the crashed state).
   bool ShouldFail(OpKind kind);
+
+  // Read-side variant: counts the op and fires an armed kRead fault, but is
+  // NOT gated on the crashed state — reads always pass through after a write
+  // crash so a test can immediately "restart" and load. A firing read fault
+  // still sets crashed_ (the reading process died mid-load); Heal() clears
+  // it as usual.
+  bool ShouldFailRead();
 
   Env* base_;
   std::array<size_t, kNumOpKinds> ops_ = {};

@@ -99,6 +99,15 @@ class PosixEnv : public Env {
     return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
   }
 
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for appending", path));
+    }
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
   Result<std::string> ReadFileToString(const std::string& path) override {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {

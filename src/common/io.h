@@ -46,6 +46,12 @@ class Env {
   virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) = 0;
 
+  /// Opens `path` for appending, creating it if missing and preserving any
+  /// existing contents. The write-ahead-log path: records accumulate across
+  /// process lifetimes and only ever grow at the end.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
   /// Reads the whole of `path` into a string.
   virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
 

@@ -25,6 +25,9 @@
 
 namespace leva {
 
+class UpdateLog;
+struct UpdateRecord;
+
 /// Which embedding method the construction stage uses (Section 4.2).
 enum class EmbeddingMethod {
   kAuto,                 ///< MF when the estimated memory fits, else RW
@@ -82,6 +85,26 @@ struct FeaturizeStats {
   size_t token_occurrences = 0;
   size_t distinct_tokens = 0;
   size_t store_lookups = 0;
+};
+
+/// Outcome of one LevaPipeline::Update batch (or one replayed WAL record).
+struct UpdateResult {
+  size_t rows_applied = 0;
+  size_t new_row_nodes = 0;
+  size_t new_value_nodes = 0;
+  /// Undirected edges appended to the graph's delta segment.
+  size_t new_edges = 0;
+  /// Embedding rows written back (new nodes plus touched existing nodes).
+  size_t refreshed_vectors = 0;
+  /// Delta segments were merged into the base CSR (ratio policy, or the
+  /// full-refit path below, which always compacts).
+  bool compacted = false;
+  /// The chosen method cannot continue training incrementally (MF/LINE), so
+  /// the whole graph was re-embedded from scratch.
+  bool full_refit = false;
+  /// WAL byte offset acknowledging this batch (0 when no log was attached).
+  /// A snapshot saved now records it, so recovery replays only later records.
+  uint64_t wal_offset = 0;
 };
 
 /// How LoadSnapshot/ReloadSnapshot materialize a snapshot's bulk arrays
@@ -220,6 +243,11 @@ class LevaPipeline {
     // and the page-CRC table for deferred verification.
     std::shared_ptr<const MappedRegion> region;
     std::vector<BulkPages> bulk_pages;
+    // WAL position this model is consistent with: every log record up to
+    // byte `wal_offset` (`wal_records` of them) is applied, none past it.
+    // Snapshot v5 persists the pair, so a reload knows where replay resumes.
+    uint64_t wal_offset = 0;
+    uint64_t wal_records = 0;
     // Serving-side token cache shared across Featurize calls on this model.
     // Resolution is a pure function of the stores above, so the cache lives
     // (and dies) with them. Guarded: the sequential resolve phase of each
@@ -232,6 +260,42 @@ class LevaPipeline {
   /// (Section 2.4). Builds the whole model off to the side and publishes it
   /// only on success: a failed Fit leaves the previous model serving.
   Status Fit(const Database& db);
+
+  /// Streaming ingest (the crash-safe incremental alternative to a full
+  /// re-Fit): appends `new_rows` — a batch of fresh rows for a table the
+  /// model was fitted on — to the served model. The batch is first made
+  /// durable in `log` (append + fsync; the acknowledgment point), then
+  /// applied to a successor model built entirely off to the side: the frozen
+  /// textifier tokenizes the rows, the graph grows by one row node per row
+  /// plus value nodes/edges in its delta segment (base CSR untouched — it
+  /// may be an mmap view), and the embedding is refreshed warm — under the
+  /// random-walk method, walks seeded at the new/touched nodes continue SGNS
+  /// training from the served vectors and only those nodes' rows are
+  /// rewritten; MF/LINE cannot train incrementally, so they compact and
+  /// re-embed (UpdateResult::full_refit). The resolver cache carries over
+  /// with only the touched tokens re-resolved. Publication is the same
+  /// atomic swap ReloadSnapshot uses: concurrent Featurize calls see either
+  /// the old model or the new one, never a half-applied delta; on any error
+  /// the incumbent keeps serving untouched (though an acknowledged record
+  /// stays in the log and will re-apply on recovery).
+  ///
+  /// `log` may be null (apply without durability — replay and tests).
+  /// Requires the same external exclusion as Fit against other writers;
+  /// readers need none. Deterministic: the refresh RNG is seeded from the
+  /// config seed and the record index, so replaying the same log from the
+  /// same snapshot reproduces the same model.
+  Result<UpdateResult> Update(const Table& new_rows, UpdateLog* log = nullptr);
+
+  /// Replays every WAL record past the served model's recorded position
+  /// (ServingState::wal_offset — what the snapshot stored) through the same
+  /// apply path as Update, publishing once at the end. Returns the number of
+  /// records applied. Idempotent: a second call finds the position already
+  /// at the log's end and applies nothing, and re-running recovery from the
+  /// same snapshot yields a byte-identical model (the per-record RNG seeds
+  /// depend only on the record index). A torn trailing record — a crash
+  /// mid-append, never acknowledged — is skipped cleanly.
+  Result<size_t> RecoverFromLog(const std::string& wal_path,
+                                Env* env = nullptr);
 
   /// Deploys the embedding on `table` (stage 5). When `rows_in_graph` is
   /// true, row i maps to the row node "<table>:<i>" created at Fit time;
@@ -349,9 +413,12 @@ class LevaPipeline {
   /// page-aligned, per-page-checksummed bulk sections (mmap-able); version 3
   /// added the walk-engine selection fields to the serialized config;
   /// version 4 added quantized embedding storage tiers (the tier byte in the
-  /// config and embedding sections, and per-tier bulk sections). Older
-  /// versions are rejected with an error naming both versions.
-  static constexpr uint32_t kSnapshotVersion = 4;
+  /// config and embedding sections, and per-tier bulk sections); version 5
+  /// added the applied-WAL position (offset + record count) to the meta
+  /// section so recovery after a crash replays exactly the unapplied tail of
+  /// the update log. Older versions are rejected with an error naming both
+  /// versions.
+  static constexpr uint32_t kSnapshotVersion = 5;
 
  private:
   // Mean of the value-node embeddings of `tokens` into `out` (zeros when no
@@ -363,6 +430,13 @@ class LevaPipeline {
                                             const Table& table, size_t row,
                                             const std::string& target_column,
                                             bool rows_in_graph) const;
+
+  // Builds the successor ServingState for one update batch (shared by Update
+  // and RecoverFromLog — the latter passes the replayed record's position).
+  // Pure with respect to the pipeline: nothing is published here.
+  Result<std::shared_ptr<const ServingState>> ApplyUpdateBatch(
+      const ServingState& s, const Table& new_rows, uint64_t wal_offset,
+      uint64_t wal_records, UpdateResult* result) const;
 
   /// The published model, or a static empty state so accessors on an
   /// unfitted pipeline return empty components instead of crashing.

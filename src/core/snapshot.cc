@@ -4,7 +4,7 @@
 //
 //   manifest:
 //     [8]  magic "LEVASNP1"
-//     [4]  u32 format version (4)
+//     [4]  u32 format version (5)
 //     [4]  u32 config hash       crc32c of the "config" section payload
 //     [4]  u32 section count
 //     per section:
@@ -511,6 +511,10 @@ Result<std::shared_ptr<LevaPipeline::ServingState>> LoadState(
     LEVA_RETURN_IF_ERROR(CheckEnum(
         u8, static_cast<uint8_t>(EmbeddingMethod::kLine), "chosen method"));
     state->chosen = static_cast<EmbeddingMethod>(u8);
+    // v5: the applied-WAL position. Recovery (RecoverFromLog) replays only
+    // update-log records past this byte offset.
+    LEVA_RETURN_IF_ERROR(in.GetU64(&state->wal_offset));
+    LEVA_RETURN_IF_ERROR(in.GetU64(&state->wal_records));
   }
 
   {
@@ -634,6 +638,19 @@ Status LevaPipeline::SaveSnapshot(const std::string& path, StorageTier tier,
   const ServingState& s = *state;
   if (env == nullptr) env = Env::Default();
 
+  // Compact-on-save: the graph section serializes base CSR arrays only, so a
+  // model carrying streaming-update delta segments is folded into a single
+  // CSR off to the side first (node ids preserved, weights repaired to
+  // 1/deg when the graph is weighted). The served graph is never touched.
+  LevaGraph compacted_graph;
+  const LevaGraph* graph_ptr = &s.graph;
+  if (s.graph.HasDelta()) {
+    LEVA_ASSIGN_OR_RETURN(compacted_graph,
+                          s.graph.Compacted(s.config.graph.weighted));
+    graph_ptr = &compacted_graph;
+  }
+  const LevaGraph& g = *graph_ptr;
+
   // Quantize-on-save: when the served store is not already at the requested
   // tier, re-encode a private copy off to the side (the serving store is
   // immutable). The bulk sections below then point at whichever store holds
@@ -654,11 +671,13 @@ Status LevaPipeline::SaveSnapshot(const std::string& path, StorageTier tier,
   BufferWriter textifier;
   s.textifier.Save(&textifier);
   BufferWriter graph;
-  s.graph.Save(&graph);
+  g.Save(&graph);
   BufferWriter embedding;
   emb->Save(&embedding);
   BufferWriter meta;
   meta.PutU8(static_cast<uint8_t>(s.chosen));
+  meta.PutU64(s.wal_offset);
+  meta.PutU64(s.wal_records);
   // The warm serving cache rides along; it resolves against the very stores
   // serialized above, so it is always coherent with them. The section is
   // optional on load (a cold cache is functionally identical) but still
@@ -673,9 +692,9 @@ Status LevaPipeline::SaveSnapshot(const std::string& path, StorageTier tier,
   // (little-endian, fixed-width) IS the on-disk format, so a loader can map
   // them in place.
   std::vector<BulkSpec> bulks;
-  bulks.push_back(MakeBulk<uint64_t>("graph.offsets", s.graph.offsets()));
-  bulks.push_back(MakeBulk<NodeId>("graph.targets", s.graph.targets()));
-  bulks.push_back(MakeBulk<float>("graph.weights", s.graph.edge_weights()));
+  bulks.push_back(MakeBulk<uint64_t>("graph.offsets", g.offsets()));
+  bulks.push_back(MakeBulk<NodeId>("graph.targets", g.targets()));
+  bulks.push_back(MakeBulk<float>("graph.weights", g.edge_weights()));
   switch (tier) {
     case StorageTier::kBf16:
       bulks.push_back(MakeBulk<uint16_t>("embedding.bf16", emb->bf16_data()));

@@ -62,6 +62,35 @@ TokenResolver::Entry TokenResolver::Resolve(std::string_view token) const {
   return entry;
 }
 
+uint32_t TokenResolver::FindId(std::string_view token) const {
+  if (slots_.empty()) return UINT32_MAX;
+  const uint64_t hash = HashToken(token);
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = hash & mask; slots_[i].id_plus_1 != 0; i = (i + 1) & mask) {
+    const Slot& slot = slots_[i];
+    if (slot.hash != hash) continue;
+    if (slot.len != Slot::kOverflowLen
+            ? (slot.len == token.size() &&
+               std::memcmp(slot.key, token.data(), slot.len) == 0)
+            : keys_[slot.id_plus_1 - 1] == token) {
+      return slot.id_plus_1 - 1;
+    }
+  }
+  return UINT32_MAX;
+}
+
+void TokenResolver::Rebind(const Embedding* embedding, const LevaGraph* graph,
+                           const std::vector<std::string>& touched) {
+  embedding_ = embedding;
+  graph_ = graph;
+  for (const std::string& token : touched) {
+    const uint32_t id = FindId(token);
+    if (id == UINT32_MAX) continue;  // never cached: resolves on first sight
+    ++stats_.store_lookups;
+    entries_[id] = Resolve(token);
+  }
+}
+
 uint32_t TokenResolver::Intern(std::string_view token) {
   ++stats_.occurrences;
   if (slots_.empty()) slots_.resize(kInitialSlots);

@@ -77,6 +77,18 @@ class TokenResolver {
   /// in stats() (it performs them).
   Status Load(BufferReader* in);
 
+  /// Rebinds the cache to successor stores after a streaming update,
+  /// re-resolving only the `touched` tokens — the value labels the update
+  /// embedded for the first time or whose node degree (hence 1/deg weight)
+  /// it changed. Every other entry is carried over verbatim: resolution is a
+  /// pure function of the stores, the update appends to them without
+  /// renumbering, so untouched entries stay correct by construction. Tokens
+  /// in `touched` that were never interned cost nothing (they resolve on
+  /// first sight as usual). Re-resolutions count as store lookups in
+  /// stats().
+  void Rebind(const Embedding* embedding, const LevaGraph* graph,
+              const std::vector<std::string>& touched);
+
   /// Forgets every interned token. Stats persist so call totals survive.
   void Clear();
 
@@ -103,6 +115,10 @@ class TokenResolver {
 
   // Probes the embedding store (and, when weighted, the graph) for `token`.
   Entry Resolve(std::string_view token) const;
+
+  // Id of an already-interned token, or UINT32_MAX when never seen. Pure
+  // lookup: no id is assigned, no stats move.
+  uint32_t FindId(std::string_view token) const;
 
   // Doubles the slot table, reinserting from the stored hashes (token
   // strings are never re-hashed).

@@ -1,0 +1,100 @@
+#ifndef LEVA_CORE_UPDATE_LOG_H_
+#define LEVA_CORE_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace leva {
+
+/// One acknowledged batch of rows appended to a single table. The unit of
+/// durability for streaming updates: `LevaPipeline::Update` logs the batch
+/// before applying it, so a crash at any later point can replay it.
+struct UpdateRecord {
+  std::string table;                      ///< target table name
+  std::vector<std::string> columns;       ///< column names, for shape checks
+  std::vector<std::vector<Value>> rows;   ///< row-major cells
+};
+
+/// Append-only write-ahead row log, riding the io.h Env/CRC32C machinery.
+///
+/// File layout: an 8-byte magic ("LEVAWAL1") followed by records. Each
+/// record is framed as
+///
+///     u32 payload_length | u32 crc32c(payload) | payload bytes
+///
+/// with the payload a BufferWriter serialization of one UpdateRecord. A
+/// record is acknowledged only after Append returns OK, which implies the
+/// bytes were written *and* fsync'ed. Replay addresses records by byte
+/// offset: the snapshot stores the offset up to which records were applied,
+/// and recovery re-reads only the tail past it — re-running recovery from
+/// the same offset is a no-op (idempotent replay).
+///
+/// Torn tails: a crash mid-append can leave a partial record at the end of
+/// the file. Such bytes were never acknowledged, so Read stops cleanly at
+/// the first record that fails its length or checksum frame, and Open
+/// truncates the tail (crash-atomically, via AtomicWriteFile of the valid
+/// prefix) before appending anything new.
+class UpdateLog {
+ public:
+  static constexpr char kMagic[8] = {'L', 'E', 'V', 'A', 'W', 'A', 'L', '1'};
+  static constexpr uint64_t kHeaderSize = 8;
+
+  /// Opens (creating if missing) the log at `path` for appending. An
+  /// existing file is scanned: the magic must match, and any torn tail left
+  /// by a crash is truncated away before the log accepts new records.
+  static Result<std::unique_ptr<UpdateLog>> Open(const std::string& path,
+                                                 Env* env = Env::Default());
+
+  /// Serializes and appends one record (a single WritableFile::Append of
+  /// frame+payload together, so an injected torn write produces a torn
+  /// *record*), then fsyncs. On OK the record is durable and end_offset()
+  /// has advanced past it; on error nothing is acknowledged.
+  Status Append(const UpdateRecord& record);
+
+  Status Close();
+
+  /// Byte offset just past the last acknowledged record — the position a
+  /// snapshot taken now should record as fully applied.
+  uint64_t end_offset() const { return end_offset_; }
+
+  /// Records acknowledged over the lifetime of the file (valid records found
+  /// at Open plus records appended since).
+  uint64_t record_count() const { return record_count_; }
+
+  const std::string& path() const { return path_; }
+
+  struct ReplayResult {
+    std::vector<UpdateRecord> records;  ///< valid records past `from_offset`
+    uint64_t end_offset = 0;            ///< offset just past the last one
+    uint64_t record_count = 0;  ///< valid records in the whole file
+    bool torn_tail = false;     ///< trailing bytes failed to parse
+  };
+
+  /// Reads every valid record starting at byte offset `from_offset` (pass
+  /// kHeaderSize — or a snapshot's applied offset — never 0 into the magic).
+  /// A record that fails its frame (truncated length, bad CRC, short
+  /// payload) terminates the scan with torn_tail=true; everything before it
+  /// is the consistent acknowledged prefix.
+  static Result<ReplayResult> Read(const std::string& path,
+                                   uint64_t from_offset,
+                                   Env* env = Env::Default());
+
+ private:
+  UpdateLog(std::string path, Env* env) : path_(std::move(path)), env_(env) {}
+
+  std::string path_;
+  Env* env_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t end_offset_ = 0;
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace leva
+
+#endif  // LEVA_CORE_UPDATE_LOG_H_

@@ -21,7 +21,8 @@ constexpr size_t kAliasGrain = 256;
 
 size_t WalkWorkingSetBytes(const LevaGraph& graph, bool weighted) {
   const size_t n = graph.NumNodes();
-  const size_t slots = graph.targets().size();  // directed edge entries
+  // Directed edge entries, base CSR plus any streaming-update delta segment.
+  const size_t slots = graph.targets().size() + graph.DeltaSlots();
   size_t bytes = (n + 1) * sizeof(uint64_t)     // CSR offsets
                  + slots * sizeof(NodeId);      // CSR targets
   if (weighted) {
@@ -55,24 +56,38 @@ Result<FlatCorpus> RunEpochSchedule(size_t num_nodes,
   std::vector<size_t>& visit_counts = *visits;
   FlatCorpus corpus;
 
+  // A non-empty start_nodes list narrows each epoch to one walk per entry
+  // (the streaming-update refresh path); empty keeps the historical
+  // one-walk-per-node schedule bit for bit.
+  const bool subset = !options.start_nodes.empty();
+  const size_t walkers = subset ? options.start_nodes.size() : n;
+  if (subset) {
+    for (const NodeId s : options.start_nodes) {
+      if (static_cast<size_t>(s) >= n) {
+        return Status::InvalidArgument("walk start node " + std::to_string(s) +
+                                       " out of range " + std::to_string(n));
+      }
+    }
+  }
+
   size_t normal_epochs = options.epochs;
   size_t restart_epochs = 0;
   if (options.balanced_restarts) {
     restart_epochs = std::min(options.restart_epochs, options.epochs);
     normal_epochs = options.epochs - restart_epochs;
   }
-  // Every epoch (normal and restart) emits up to one walk per node; with no
-  // visit limit every stepped token survives, so reserve the exact worst
+  // Every epoch (normal and restart) emits up to one walk per walker; with
+  // no visit limit every stepped token survives, so reserve the exact worst
   // case up front and the token buffer never reallocates.
-  const size_t tokens_per_epoch = n * options.walk_length;
-  corpus.Reserve(options.epochs * n,
+  const size_t tokens_per_epoch = walkers * options.walk_length;
+  corpus.Reserve(options.epochs * walkers,
                  options.visit_limit == 0 ? options.epochs * tokens_per_epoch
                                           : tokens_per_epoch);
 
   // Per-epoch trajectory slab: walk i steps into slot [i * walk_length, ...).
   // Allocated once and reused by every epoch — no per-walk heap churn.
   std::vector<NodeId> traj(tokens_per_epoch);
-  std::vector<uint32_t> traj_len(n);
+  std::vector<uint32_t> traj_len(walkers);
   const auto run_epoch = [&](size_t epoch, const std::vector<NodeId>& starts) {
     step_epoch(epoch, starts, traj.data(), traj_len.data());
     // Epoch barrier: apply the visit-limit filter sequentially in walk order,
@@ -82,7 +97,7 @@ Result<FlatCorpus> RunEpochSchedule(size_t num_nodes,
     // embarrassingly parallel (trajectories never read the counters).
     // Surviving tokens are appended straight into the corpus; EndSentence
     // drops empty walks.
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < walkers; ++i) {
       const NodeId* walk = traj.data() + i * options.walk_length;
       const size_t len = traj_len[i];
       if (options.visit_limit == 0) {
@@ -103,8 +118,13 @@ Result<FlatCorpus> RunEpochSchedule(size_t num_nodes,
     }
   };
 
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<NodeId> order;
+  if (subset) {
+    order = options.start_nodes;
+  } else {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+  }
   for (size_t e = 0; e < normal_epochs; ++e) {
     Rng shuffle_rng = StreamRng(base_seed, rngdomain::kWalkShuffle, e);
     shuffle_rng.Shuffle(&order);
@@ -117,17 +137,28 @@ Result<FlatCorpus> RunEpochSchedule(size_t num_nodes,
     // quartile is recomputed at every restart-epoch barrier so each epoch
     // re-targets the nodes that are worst *now*, not the ones that were worst
     // before any balancing ran. Ties break by node id so the start list is a
-    // pure function of the merged counts.
-    std::vector<NodeId> by_visits(n);
-    std::vector<NodeId> starts(n);
-    const size_t worst = std::max<size_t>(1, n / 4);
+    // pure function of the merged counts. With a start subset, the
+    // candidates are the subset pool — balancing never drags starts onto
+    // nodes the caller did not ask to seed.
+    std::vector<NodeId> by_visits;
+    if (subset) {
+      by_visits = options.start_nodes;
+    } else {
+      by_visits.resize(n);
+    }
+    std::vector<NodeId> starts(walkers);
+    const size_t worst = std::max<size_t>(1, walkers / 4);
     for (size_t e = 0; e < restart_epochs; ++e) {
-      std::iota(by_visits.begin(), by_visits.end(), 0);
+      if (subset) {
+        by_visits = options.start_nodes;
+      } else {
+        std::iota(by_visits.begin(), by_visits.end(), 0);
+      }
       std::sort(by_visits.begin(), by_visits.end(), [&](NodeId a, NodeId b) {
         return visit_counts[a] != visit_counts[b] ? visit_counts[a] < visit_counts[b]
                                                   : a < b;
       });
-      for (size_t i = 0; i < n; ++i) starts[i] = by_visits[i % worst];
+      for (size_t i = 0; i < walkers; ++i) starts[i] = by_visits[i % worst];
       run_epoch(normal_epochs + e, starts);
     }
   }
@@ -149,8 +180,13 @@ WalkGenerator::WalkGenerator(const LevaGraph* graph, WalkOptions options)
                 [&](size_t b, size_t e) {
                   std::vector<double> w;
                   for (NodeId i = static_cast<NodeId>(b); i < e; ++i) {
+                    // Combined base + delta weights, in span order — the
+                    // index an alias draw yields maps back through the same
+                    // concatenation.
                     const auto weights = graph_->Weights(i);
+                    const auto delta = graph_->DeltaWeights(i);
                     w.assign(weights.begin(), weights.end());
+                    w.insert(w.end(), delta.begin(), delta.end());
                     alias_[i] = AliasTable(w);
                   }
                 });
@@ -164,59 +200,80 @@ size_t WalkGenerator::AliasMemoryBytes() const {
 }
 
 NodeId WalkGenerator::Step(NodeId current, NodeId previous,
-                           std::span<const NodeId> prev_nbrs, Rng* rng) const {
+                           std::span<const NodeId> prev_nbrs,
+                           std::span<const NodeId> prev_delta_nbrs,
+                           Rng* rng) const {
+  // Combined adjacency: the base span followed by the delta span (edges
+  // appended by streaming updates). Index k of any draw maps back through
+  // the same concatenation. Both spans are empty-delta no-ops on a compacted
+  // graph, so this is the historical base-only walk bit for bit.
   const auto nbrs = graph_->Neighbors(current);
-  if (nbrs.empty()) return kInvalidNode;
+  const auto dnbrs = graph_->DeltaNeighbors(current);
+  const size_t deg = nbrs.size() + dnbrs.size();
+  if (deg == 0) return kInvalidNode;
+  const auto nbr_at = [&](size_t k) {
+    return k < nbrs.size() ? nbrs[k] : dnbrs[k - nbrs.size()];
+  };
 
   const bool biased = options_.p != 1.0 || options_.q != 1.0;
   if (!biased || previous == kInvalidNode) {
     if (options_.weighted) {
       if (alias_[current].empty()) return kInvalidNode;
-      return nbrs[alias_[current].Sample(rng)];
+      return nbr_at(alias_[current].Sample(rng));
     }
-    return nbrs[rng->UniformInt(nbrs.size())];
+    return nbr_at(rng->UniformInt(deg));
   }
 
   // Node2vec second-order transition: O(deg) per step. The graphs Leva
-  // builds are sparse, so no per-edge alias tables are kept. `prev_nbrs` is
-  // the previous node's (sorted) neighbor span, fetched once per step by the
-  // caller instead of once per candidate neighbor.
+  // builds are sparse, so no per-edge alias tables are kept. `prev_nbrs` /
+  // `prev_delta_nbrs` are the previous node's (sorted) neighbor spans,
+  // fetched once per step by the caller instead of once per candidate
+  // neighbor.
   const auto weights = graph_->Weights(current);
+  const auto dweights = graph_->DeltaWeights(current);
   double total = 0;
   thread_local std::vector<double> probs;
-  probs.resize(nbrs.size());
-  for (size_t i = 0; i < nbrs.size(); ++i) {
+  probs.resize(deg);
+  for (size_t i = 0; i < deg; ++i) {
+    const NodeId nb = nbr_at(i);
     double bias;
-    if (nbrs[i] == previous) {
+    if (nb == previous) {
       bias = 1.0 / options_.p;
-    } else if (std::binary_search(prev_nbrs.begin(), prev_nbrs.end(),
-                                  nbrs[i])) {
+    } else if (std::binary_search(prev_nbrs.begin(), prev_nbrs.end(), nb) ||
+               std::binary_search(prev_delta_nbrs.begin(),
+                                  prev_delta_nbrs.end(), nb)) {
       bias = 1.0;
     } else {
       bias = 1.0 / options_.q;
     }
-    probs[i] = bias * (options_.weighted ? weights[i] : 1.0);
+    const double w = options_.weighted
+                         ? (i < weights.size() ? weights[i]
+                                               : dweights[i - weights.size()])
+                         : 1.0;
+    probs[i] = bias * w;
     total += probs[i];
   }
   double r = rng->Uniform() * total;
-  for (size_t i = 0; i < nbrs.size(); ++i) {
+  for (size_t i = 0; i < deg; ++i) {
     r -= probs[i];
-    if (r <= 0) return nbrs[i];
+    if (r <= 0) return nbr_at(i);
   }
-  return nbrs.back();
+  return nbr_at(deg - 1);
 }
 
 size_t WalkGenerator::Trajectory(NodeId start, Rng* rng, NodeId* out) const {
   size_t len = 0;
   NodeId prev = kInvalidNode;
   std::span<const NodeId> prev_nbrs;
+  std::span<const NodeId> prev_dnbrs;
   NodeId cur = start;
   for (size_t step = 0; step < options_.walk_length; ++step) {
     out[len++] = cur;
-    const NodeId next = Step(cur, prev, prev_nbrs, rng);
+    const NodeId next = Step(cur, prev, prev_nbrs, prev_dnbrs, rng);
     if (next == kInvalidNode) break;
     prev = cur;
     prev_nbrs = graph_->Neighbors(cur);
+    prev_dnbrs = graph_->DeltaNeighbors(cur);
     cur = next;
   }
   return len;
@@ -245,10 +302,12 @@ Result<FlatCorpus> WalkGenerator::Generate(Rng* rng) {
       n, options_, base_seed, &visits_,
       [&](size_t epoch, const std::vector<NodeId>& starts, NodeId* traj,
           uint32_t* traj_len) {
-        ParallelFor(threads, 0, n, kWalkGrain, [&](size_t b, size_t e) {
+        const size_t walkers = starts.size();  // == n unless start_nodes set
+        ParallelFor(threads, 0, walkers, kWalkGrain, [&](size_t b, size_t e) {
           for (size_t i = b; i < e; ++i) {
-            Rng walk_rng = StreamRng(base_seed, rngdomain::kWalk,
-                                     static_cast<uint64_t>(epoch) * n + i);
+            Rng walk_rng =
+                StreamRng(base_seed, rngdomain::kWalk,
+                          static_cast<uint64_t>(epoch) * walkers + i);
             traj_len[i] = static_cast<uint32_t>(Trajectory(
                 starts[i], &walk_rng, traj + i * options_.walk_length));
           }
@@ -266,24 +325,35 @@ Result<WalkCorpus> WalkGenerator::GenerateNested(Rng* rng) {
   const size_t threads = ResolveThreads(options_.threads);
   const uint64_t base_seed = rng->Next();
 
+  const bool subset = !options_.start_nodes.empty();
+  const size_t walkers = subset ? options_.start_nodes.size() : n;
+  if (subset) {
+    for (const NodeId s : options_.start_nodes) {
+      if (static_cast<size_t>(s) >= n) {
+        return Status::InvalidArgument("walk start node " + std::to_string(s) +
+                                       " out of range " + std::to_string(n));
+      }
+    }
+  }
+
   size_t normal_epochs = options_.epochs;
   size_t restart_epochs = 0;
   if (options_.balanced_restarts) {
     restart_epochs = std::min(options_.restart_epochs, options_.epochs);
     normal_epochs = options_.epochs - restart_epochs;
   }
-  corpus.reserve(options_.epochs * n);
+  corpus.reserve(options_.epochs * walkers);
 
-  std::vector<std::vector<NodeId>> batch(n);  // per-walk trajectory slots
+  std::vector<std::vector<NodeId>> batch(walkers);  // per-walk slots
   const auto run_epoch = [&](size_t epoch, const std::vector<NodeId>& starts) {
-    ParallelFor(threads, 0, n, kWalkGrain, [&](size_t b, size_t e) {
+    ParallelFor(threads, 0, walkers, kWalkGrain, [&](size_t b, size_t e) {
       for (size_t i = b; i < e; ++i) {
         Rng walk_rng = StreamRng(base_seed, rngdomain::kWalk,
-                                 static_cast<uint64_t>(epoch) * n + i);
+                                 static_cast<uint64_t>(epoch) * walkers + i);
         Trajectory(starts[i], &walk_rng, &batch[i]);
       }
     });
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < walkers; ++i) {
       std::vector<NodeId>& traj = batch[i];
       if (options_.visit_limit == 0) {
         for (const NodeId cur : traj) ++visits_[cur];
@@ -301,8 +371,13 @@ Result<WalkCorpus> WalkGenerator::GenerateNested(Rng* rng) {
     }
   };
 
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<NodeId> order;
+  if (subset) {
+    order = options_.start_nodes;
+  } else {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+  }
   for (size_t e = 0; e < normal_epochs; ++e) {
     Rng shuffle_rng = StreamRng(base_seed, rngdomain::kWalkShuffle, e);
     shuffle_rng.Shuffle(&order);
@@ -310,15 +385,20 @@ Result<WalkCorpus> WalkGenerator::GenerateNested(Rng* rng) {
   }
 
   if (restart_epochs > 0) {
-    std::vector<NodeId> by_visits(n);
-    std::vector<NodeId> starts(n);
-    const size_t worst = std::max<size_t>(1, n / 4);
+    std::vector<NodeId> by_visits;
+    if (!subset) by_visits.resize(n);
+    std::vector<NodeId> starts(walkers);
+    const size_t worst = std::max<size_t>(1, walkers / 4);
     for (size_t e = 0; e < restart_epochs; ++e) {
-      std::iota(by_visits.begin(), by_visits.end(), 0);
+      if (subset) {
+        by_visits = options_.start_nodes;
+      } else {
+        std::iota(by_visits.begin(), by_visits.end(), 0);
+      }
       std::sort(by_visits.begin(), by_visits.end(), [&](NodeId a, NodeId b) {
         return visits_[a] != visits_[b] ? visits_[a] < visits_[b] : a < b;
       });
-      for (size_t i = 0; i < n; ++i) starts[i] = by_visits[i % worst];
+      for (size_t i = 0; i < walkers; ++i) starts[i] = by_visits[i % worst];
       run_epoch(normal_epochs + e, starts);
     }
   }

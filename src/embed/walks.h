@@ -59,6 +59,13 @@ struct WalkOptions {
   /// this many bytes — i.e. once per-step random access stops fitting the
   /// last-level cache. Default is a conservative 64 MiB.
   size_t batched_auto_threshold_bytes = size_t{64} << 20;
+  /// When non-empty, every epoch starts one walk per entry of this list
+  /// instead of one per node — the streaming-update path seeds walks at the
+  /// new/touched nodes only. Walks still roam the whole graph; only the
+  /// start distribution narrows. Balanced restarts draw their
+  /// worst-quartile starts from this pool too. Empty (the default) keeps
+  /// the all-nodes schedule bit-identical to what it has always been.
+  std::vector<NodeId> start_nodes;
 };
 
 /// Bytes the walk sampling hot loop touches per step: CSR offsets + targets,
@@ -122,8 +129,11 @@ class WalkGenerator {
   size_t Trajectory(NodeId start, Rng* rng, NodeId* out) const;
   // Legacy vector form, layered on the buffer version.
   void Trajectory(NodeId start, Rng* rng, std::vector<NodeId>* out) const;
+  // `prev_nbrs`/`prev_delta_nbrs` are the previous node's base and delta
+  // neighbor spans (both sorted), fetched once per step by the caller.
   NodeId Step(NodeId current, NodeId previous,
-              std::span<const NodeId> prev_nbrs, Rng* rng) const;
+              std::span<const NodeId> prev_nbrs,
+              std::span<const NodeId> prev_delta_nbrs, Rng* rng) const;
 
   const LevaGraph* graph_;
   WalkOptions options_;

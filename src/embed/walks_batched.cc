@@ -61,25 +61,39 @@ size_t BatchedWalkGenerator::AliasMemoryBytes() const {
          alias_idx_.capacity() * sizeof(uint32_t) + alias_empty_.capacity();
 }
 
+uint64_t BatchedWalkGenerator::SlotBase(NodeId node) const {
+  // Flat slot of `node`'s first combined (base + delta) adjacency entry:
+  // base slots first (nodes appended past the base CSR start at its end),
+  // shifted up by every preceding node's delta slots. Collapses to
+  // offsets()[node] on a delta-free graph.
+  const uint64_t base = static_cast<size_t>(node) < graph_->BaseNodes()
+                            ? graph_->offsets()[node]
+                            : graph_->targets().size();
+  return base + graph_->DeltaSlotOffset(node);
+}
+
 void BatchedWalkGenerator::BuildFlatAlias() {
   const size_t n = graph_->NumNodes();
-  const size_t slots = graph_->targets().size();
+  const size_t slots = graph_->targets().size() + graph_->DeltaSlots();
   alias_prob_.resize(slots);
   alias_idx_.resize(slots);
   alias_empty_.assign(n, 0);
-  const ArrayView<uint64_t> offsets = graph_->offsets();
   // Same sharding and same BuildAliasSlots numerics as the per-walker
   // engine's table build, just written into one CSR-indexed layout so a
   // vertex block's slots are contiguous with the adjacency they sample.
+  // Weights are the base span followed by the delta span, matching the
+  // per-walker engine's combined AliasTable input draw for draw.
   ParallelFor(threads_, 0, n, kAliasGrain, [&](size_t b, size_t e) {
     AliasBuildScratch scratch;
     std::vector<double> w;
     for (NodeId node = static_cast<NodeId>(b); node < e; ++node) {
       const auto weights = graph_->Weights(node);
+      const auto delta = graph_->DeltaWeights(node);
       w.assign(weights.begin(), weights.end());
-      if (!BuildAliasSlots({w.data(), w.size()},
-                           alias_prob_.data() + offsets[node],
-                           alias_idx_.data() + offsets[node], &scratch)) {
+      w.insert(w.end(), delta.begin(), delta.end());
+      const uint64_t off = SlotBase(node);
+      if (!BuildAliasSlots({w.data(), w.size()}, alias_prob_.data() + off,
+                           alias_idx_.data() + off, &scratch)) {
         alias_empty_[node] = 1;
       }
     }
@@ -104,17 +118,22 @@ void BatchedWalkGenerator::ChooseBlockGeometry() {
 
 NodeId BatchedWalkGenerator::SampleNext(NodeId cur, Rng* rng) const {
   const auto nbrs = graph_->Neighbors(cur);
-  if (nbrs.empty()) return kInvalidNode;
+  const auto dnbrs = graph_->DeltaNeighbors(cur);
+  const size_t deg = nbrs.size() + dnbrs.size();
+  if (deg == 0) return kInvalidNode;
+  const auto nbr_at = [&](size_t k) {
+    return k < nbrs.size() ? nbrs[k] : dnbrs[k - nbrs.size()];
+  };
   if (options_.weighted) {
     if (alias_empty_[cur]) return kInvalidNode;
     // Draw-for-draw the same stream consumption as AliasTable::Sample.
-    const uint64_t off = graph_->offsets()[cur];
-    const uint32_t i = static_cast<uint32_t>(rng->UniformInt(nbrs.size()));
+    const uint64_t off = SlotBase(cur);
+    const uint32_t i = static_cast<uint32_t>(rng->UniformInt(deg));
     const uint32_t pick =
         rng->Uniform() < alias_prob_[off + i] ? i : alias_idx_[off + i];
-    return nbrs[pick];
+    return nbr_at(pick);
   }
-  return nbrs[rng->UniformInt(nbrs.size())];
+  return nbr_at(rng->UniformInt(deg));
 }
 
 size_t BatchedWalkGenerator::BucketFrontier(size_t m) {
@@ -172,27 +191,27 @@ size_t BatchedWalkGenerator::BucketFrontier(size_t m) {
 void BatchedWalkGenerator::StepEpoch(uint64_t base_seed, size_t epoch,
                                      const std::vector<NodeId>& starts,
                                      NodeId* traj, uint32_t* traj_len) {
-  const size_t n = graph_->NumNodes();
+  const size_t walkers = starts.size();  // == NumNodes unless start_nodes set
   const size_t walk_length = options_.walk_length;
   // Walkers that survive every step emit walk_length tokens; early deaths
   // overwrite their slot below.
-  std::fill(traj_len, traj_len + n,
+  std::fill(traj_len, traj_len + walkers,
             static_cast<uint32_t>(walk_length));
   if (walk_length == 0) return;
 
-  front_.EnsureSize(n);
-  back_.EnsureSize(n);
+  front_.EnsureSize(walkers);
+  back_.EnsureSize(walkers);
   Walker* fr = front_.data();
-  ParallelForNuma(threads_, 0, n, kInitGrain, [&](size_t b, size_t e) {
+  ParallelForNuma(threads_, 0, walkers, kInitGrain, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) {
       fr[i].id = static_cast<NodeId>(i);
       fr[i].cur = starts[i];
       fr[i].rng = StreamRng(base_seed, rngdomain::kWalk,
-                            static_cast<uint64_t>(epoch) * n + i);
+                            static_cast<uint64_t>(epoch) * walkers + i);
     }
   });
 
-  size_t m = n;
+  size_t m = walkers;
   for (size_t step = 0; step < walk_length; ++step) {
     // (a) Bucket/shuffle the frontier by vertex block — also compacts away
     // walkers that ended last step.

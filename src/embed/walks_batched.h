@@ -78,6 +78,9 @@ class BatchedWalkGenerator {
   };
   static_assert(sizeof(Walker) == 40, "frontier records should stay packed");
 
+  /// Flat slot of `node`'s first combined (base + delta) adjacency entry in
+  /// alias_prob_/alias_idx_; equals offsets()[node] on a delta-free graph.
+  uint64_t SlotBase(NodeId node) const;
   void BuildFlatAlias();
   void ChooseBlockGeometry();
   /// Uniform/weighted transition out of `cur`; draw-for-draw identical to

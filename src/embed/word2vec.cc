@@ -411,7 +411,37 @@ Status Word2Vec::Train(const FlatCorpus& corpus, size_t vocab_size, Rng* rng) {
   if (total_tokens == 0) return Status::InvalidArgument("empty corpus");
 
   const TrainPlan plan = MakePlan(freq, total_tokens, options_);
-  InitWeights(vocab_size, dim, rng, &node_, &context_);
+  if (warm_) {
+    // Warm start: adopt the staged node vectors, random-init only the new
+    // vocabulary tail (same draw as a cold start would give those rows),
+    // zero context — continuing SGD from a fitted model.
+    const Matrix warm = std::move(warm_node_);
+    warm_node_ = Matrix();
+    warm_ = false;
+    if (warm.cols() != dim) {
+      return Status::InvalidArgument(
+          "warm-start matrix has dim " + std::to_string(warm.cols()) +
+          ", expected " + std::to_string(dim));
+    }
+    if (warm.rows() > vocab_size) {
+      return Status::InvalidArgument(
+          "warm-start matrix has " + std::to_string(warm.rows()) +
+          " rows but vocab size is " + std::to_string(vocab_size));
+    }
+    node_ = Matrix(vocab_size, dim);
+    context_ = Matrix(vocab_size, dim);
+    if (warm.rows() > 0) {
+      std::copy(warm.data().begin(), warm.data().end(),
+                node_.mutable_data().begin());
+    }
+    for (size_t i = warm.rows(); i < vocab_size; ++i) {
+      for (size_t j = 0; j < dim; ++j) {
+        node_(i, j) = (rng->Uniform() - 0.5) / static_cast<double>(dim);
+      }
+    }
+  } else {
+    InitWeights(vocab_size, dim, rng, &node_, &context_);
+  }
 
   const size_t threads = ResolveThreads(options_.threads);
   if (options_.deterministic) {

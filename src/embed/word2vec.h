@@ -66,6 +66,20 @@ class Word2Vec {
   Status TrainLegacy(const std::vector<std::vector<uint32_t>>& corpus,
                      size_t vocab_size, Rng* rng);
 
+  /// Stages `node` as the initial node-vector matrix for the NEXT Train
+  /// call (the streaming-update warm start: continue SGNS from a previously
+  /// fitted embedding instead of random init). Rows 0..node.rows() are
+  /// adopted verbatim; rows past them — new vocabulary — are initialized by
+  /// the standard (U(0,1)-0.5)/dim draw, and the context matrix starts at
+  /// zero exactly as a cold start does. Consumed by that Train (a second
+  /// Train cold-starts again); `node.cols()` must equal options().dim and
+  /// rows() must not exceed the trained vocab_size, checked at Train time.
+  /// TrainLegacy ignores warm starts (it is the frozen cold-start baseline).
+  void WarmStart(Matrix node) {
+    warm_node_ = std::move(node);
+    warm_ = true;
+  }
+
   /// Input ("node") vectors, vocab_size x dim.
   const Matrix& node_vectors() const { return node_; }
   /// Output ("context") vectors.
@@ -77,6 +91,8 @@ class Word2Vec {
   Word2VecOptions options_;
   Matrix node_;
   Matrix context_;
+  Matrix warm_node_;  // staged by WarmStart, consumed by the next Train
+  bool warm_ = false;
 };
 
 }  // namespace leva

@@ -1,6 +1,8 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -19,14 +21,35 @@ struct TokenAgg {
 
 NodeId LevaGraph::RowNode(const std::string& table, size_t row) const {
   const auto it = row_index_.find(table);
-  if (it == row_index_.end() || row >= it->second.second) return kInvalidNode;
-  return it->second.first + static_cast<NodeId>(row);
+  if (it != row_index_.end() && row < it->second.second) {
+    return it->second.first + static_cast<NodeId>(row);
+  }
+  const auto ex = extra_rows_.find(table);
+  if (ex != extra_rows_.end()) {
+    for (const ExtraRowSegment& seg : ex->second) {
+      if (row >= seg.first_row && row - seg.first_row < seg.count) {
+        return seg.first_node + static_cast<NodeId>(row - seg.first_row);
+      }
+    }
+  }
+  return kInvalidNode;
 }
 
 std::pair<NodeId, size_t> LevaGraph::TableRows(const std::string& table) const {
   const auto it = row_index_.find(table);
   if (it == row_index_.end()) return {kInvalidNode, 0};
   return it->second;
+}
+
+size_t LevaGraph::TableRowCount(const std::string& table) const {
+  size_t count = 0;
+  const auto it = row_index_.find(table);
+  if (it != row_index_.end()) count = it->second.second;
+  const auto ex = extra_rows_.find(table);
+  if (ex != extra_rows_.end()) {
+    for (const ExtraRowSegment& seg : ex->second) count += seg.count;
+  }
+  return count;
 }
 
 NodeId LevaGraph::ValueNode(std::string_view token) const {
@@ -40,6 +63,168 @@ std::vector<NodeId> LevaGraph::NodesOfKind(NodeKind kind) const {
     if (kinds_[n] == kind) out.push_back(n);
   }
   return out;
+}
+
+Status LevaGraph::ApplyDelta(const std::vector<NodeKind>& kinds,
+                             const std::vector<std::string>& labels,
+                             const std::vector<GraphDeltaEdge>& edges) {
+  if (kinds.size() != labels.size()) {
+    return Status::InvalidArgument("delta kinds/labels length mismatch");
+  }
+  const size_t old_n = NumNodes();
+  const size_t n = old_n + kinds.size();
+  if (n >= kInvalidNode) {
+    return Status::InvalidArgument("delta node count overflows NodeId");
+  }
+  // Validate everything before mutating anything: a failed delta must leave
+  // the graph exactly as it was.
+  for (const GraphDeltaEdge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      return Status::OutOfRange("delta edge endpoint out of range");
+    }
+    if (!(e.weight > 0.0f) || !std::isfinite(e.weight)) {
+      return Status::InvalidArgument("delta edge weight must be finite > 0");
+    }
+  }
+  {
+    std::unordered_set<std::string_view> batch_values;
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] != NodeKind::kValue) continue;
+      if (value_index_.find(labels[i]) != value_index_.end() ||
+          !batch_values.insert(labels[i]).second) {
+        return Status::AlreadyExists("delta value node '" + labels[i] +
+                                     "' already exists");
+      }
+    }
+  }
+
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(old_n + i);
+    kinds_.push_back(kinds[i]);
+    labels_.push_back(labels[i]);
+    if (kinds[i] == NodeKind::kValue) {
+      value_index_.emplace(labels_.back(), id);
+      ++stats_.value_nodes;
+    } else {
+      ++stats_.row_nodes;
+    }
+  }
+
+  // Per-node lists of newly arriving (target, weight) pairs, kept sorted so
+  // merged delta adjacency stays binary-searchable.
+  std::vector<std::vector<std::pair<NodeId, float>>> adds(n);
+  for (const GraphDeltaEdge& e : edges) {
+    adds[e.u].emplace_back(e.v, e.weight);
+    adds[e.v].emplace_back(e.u, e.weight);
+  }
+
+  // The existing delta arrays cover only the pre-append node count; nodes at
+  // or past that bound have no old delta adjacency by construction.
+  const size_t old_delta_nodes =
+      delta_offsets_.empty() ? 0 : delta_offsets_.size() - 1;
+  const auto old_delta_span = [&](size_t i) -> std::pair<size_t, size_t> {
+    if (i >= old_delta_nodes) return {0, 0};
+    return {delta_offsets_[i], delta_offsets_[i + 1]};
+  };
+
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [lo, hi] = old_delta_span(i);
+    offsets[i + 1] = offsets[i] + (hi - lo) + adds[i].size();
+  }
+  std::vector<NodeId> targets(offsets[n]);
+  std::vector<float> weights(offsets[n]);
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(adds[i].begin(), adds[i].end());
+    const auto [lo, hi] = old_delta_span(i);
+    const std::span<const NodeId> old_nbrs{delta_targets_.data() + lo,
+                                           hi - lo};
+    const std::span<const float> old_w{delta_weights_.data() + lo, hi - lo};
+    size_t a = 0, b = 0, out = offsets[i];
+    while (a < old_nbrs.size() || b < adds[i].size()) {
+      const bool take_old =
+          b >= adds[i].size() ||
+          (a < old_nbrs.size() && old_nbrs[a] <= adds[i][b].first);
+      if (take_old) {
+        targets[out] = old_nbrs[a];
+        weights[out] = old_w[a];
+        ++a;
+      } else {
+        targets[out] = adds[i][b].first;
+        weights[out] = adds[i][b].second;
+        ++b;
+      }
+      ++out;
+    }
+  }
+  delta_offsets_ = std::move(offsets);
+  delta_targets_ = std::move(targets);
+  delta_weights_ = std::move(weights);
+  stats_.edges += edges.size();
+  return Status::OK();
+}
+
+void LevaGraph::RegisterExtraTableRows(const std::string& table,
+                                       size_t first_row, NodeId first_node,
+                                       size_t count) {
+  extra_rows_[table].push_back(ExtraRowSegment{first_row, first_node, count});
+}
+
+Result<LevaGraph> LevaGraph::Compacted(bool reweight) const {
+  const size_t n = NumNodes();
+  LevaGraph g;
+  g.kinds_ = kinds_;
+  g.labels_ = labels_;
+  g.value_index_ = value_index_;
+  g.row_index_ = row_index_;
+  g.extra_rows_ = extra_rows_;
+  g.stats_ = stats_;
+
+  g.offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    g.offsets_[i + 1] = g.offsets_[i] + Degree(static_cast<NodeId>(i));
+  }
+  const uint64_t total = g.offsets_[n];
+  g.targets_.assign(total, 0);
+  g.weights_.assign(total, 0.f);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId node = static_cast<NodeId>(i);
+    const auto bn = Neighbors(node);
+    const auto bw = Weights(node);
+    const auto dn = DeltaNeighbors(node);
+    const auto dw = DeltaWeights(node);
+    size_t a = 0, b = 0, out = g.offsets_[i];
+    while (a < bn.size() || b < dn.size()) {
+      const bool take_base =
+          b >= dn.size() || (a < bn.size() && bn[a] <= dn[b]);
+      if (take_base) {
+        g.targets_[out] = bn[a];
+        g.weights_[out] = bw[a];
+        ++a;
+      } else {
+        g.targets_[out] = dn[b];
+        g.weights_[out] = dw[b];
+        ++b;
+      }
+      ++out;
+    }
+  }
+  if (reweight) {
+    // Repair weights staled by appended edges: every edge reverts to the
+    // Section 3.2 weighting 1/deg(value endpoint), with degrees read off the
+    // freshly merged offsets.
+    const uint64_t* off = g.offsets_.data();
+    for (size_t u = 0; u < n; ++u) {
+      for (uint64_t k = off[u]; k < off[u + 1]; ++k) {
+        const NodeId vn = kinds_[u] == NodeKind::kValue
+                              ? static_cast<NodeId>(u)
+                              : g.targets_[k];
+        g.weights_[k] = 1.0f / static_cast<float>(off[vn + 1] - off[vn]);
+      }
+    }
+  }
+  g.stats_.edges = total / 2;
+  return g;
 }
 
 void LevaGraph::Save(BufferWriter* out) const {
@@ -59,6 +244,25 @@ void LevaGraph::Save(BufferWriter* out) const {
     out->PutString(table);
     out->PutU32(range.first);
     out->PutU64(range.second);
+  }
+
+  // Extra (appended) row segments, sorted by table for byte determinism.
+  // Note Save covers the base CSR only — a graph with live delta segments is
+  // compacted by the snapshot writer before it gets here.
+  std::vector<std::pair<std::string, const std::vector<ExtraRowSegment>*>>
+      extras;
+  extras.reserve(extra_rows_.size());
+  for (const auto& [table, segs] : extra_rows_) extras.emplace_back(table, &segs);
+  std::sort(extras.begin(), extras.end());
+  out->PutU64(extras.size());
+  for (const auto& [table, segs] : extras) {
+    out->PutString(table);
+    out->PutU64(segs->size());
+    for (const ExtraRowSegment& seg : *segs) {
+      out->PutU64(seg.first_row);
+      out->PutU32(seg.first_node);
+      out->PutU64(seg.count);
+    }
   }
 
   out->PutU64(stats_.row_nodes);
@@ -181,6 +385,36 @@ Status LevaGraph::Load(BufferReader* in, OwnedOrMapped<uint64_t> offsets,
     }
   }
 
+  uint64_t num_extra_tables = 0;
+  LEVA_RETURN_IF_ERROR(in->GetU64(&num_extra_tables));
+  for (uint64_t i = 0; i < num_extra_tables; ++i) {
+    std::string table;
+    uint64_t num_segs = 0;
+    LEVA_RETURN_IF_ERROR(in->GetString(&table));
+    LEVA_RETURN_IF_ERROR(in->GetU64(&num_segs));
+    std::vector<ExtraRowSegment> segs;
+    segs.reserve(num_segs);
+    for (uint64_t s = 0; s < num_segs; ++s) {
+      uint64_t first_row = 0, count = 0;
+      NodeId first_node = 0;
+      LEVA_RETURN_IF_ERROR(in->GetU64(&first_row));
+      LEVA_RETURN_IF_ERROR(in->GetU32(&first_node));
+      LEVA_RETURN_IF_ERROR(in->GetU64(&count));
+      if (count > n || first_node > n - count) {
+        return Status::InvalidArgument(
+            "corrupt graph: extra row segment for '" + table +
+            "' out of bounds");
+      }
+      segs.push_back(ExtraRowSegment{static_cast<size_t>(first_row),
+                                     first_node,
+                                     static_cast<size_t>(count)});
+    }
+    if (!g.extra_rows_.emplace(std::move(table), std::move(segs)).second) {
+      return Status::InvalidArgument(
+          "corrupt graph: duplicate extra row segment table");
+    }
+  }
+
   LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.row_nodes));
   LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.value_nodes));
   LEVA_RETURN_IF_ERROR(in->GetU64(&g.stats_.edges));
@@ -202,7 +436,10 @@ size_t LevaGraph::MemoryBytes() const {
   size_t bytes = kinds_.capacity() * sizeof(NodeKind) +
                  offsets_.capacity() * sizeof(size_t) +
                  targets_.capacity() * sizeof(NodeId) +
-                 weights_.capacity() * sizeof(float);
+                 weights_.capacity() * sizeof(float) +
+                 delta_offsets_.capacity() * sizeof(uint64_t) +
+                 delta_targets_.capacity() * sizeof(NodeId) +
+                 delta_weights_.capacity() * sizeof(float);
   for (const std::string& l : labels_) bytes += l.capacity() + sizeof(l);
   return bytes;
 }

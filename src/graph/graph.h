@@ -50,35 +50,131 @@ struct GraphStats {
   size_t votes_dropped_lowevidence = 0;  // theta_min removals
 };
 
+/// An undirected edge staged into a graph's delta segment (ApplyDelta).
+/// Endpoints may be base or freshly appended nodes.
+struct GraphDeltaEdge {
+  NodeId u;
+  NodeId v;
+  float weight = 1.0f;
+};
+
 /// The refined bipartite row/value-node graph of Section 3. Row nodes connect
 /// only to value nodes and vice versa. Adjacency is CSR with per-edge weights.
+///
+/// Streaming updates append into *delta segments* — a second, owned CSR laid
+/// over all nodes — instead of rebuilding the base arrays (which may be
+/// borrowed mmap views of a snapshot). Base accessors (Neighbors/Weights)
+/// stay base-only; Degree and the walk engines consult both segments.
+/// Compacted() merges the segments back into a single base CSR without
+/// renumbering any node.
 class LevaGraph {
  public:
   size_t NumNodes() const { return kinds_.size(); }
-  size_t NumEdges() const { return targets_.size() / 2; }
+  size_t NumEdges() const {
+    return (targets_.size() + delta_targets_.size()) / 2;
+  }
+
+  /// Nodes covered by the base CSR. Ids at or past this count were appended
+  /// by ApplyDelta and have only delta adjacency.
+  size_t BaseNodes() const {
+    return offsets_.size() == 0 ? 0 : offsets_.size() - 1;
+  }
 
   NodeKind kind(NodeId n) const { return kinds_[n]; }
   /// "<table>:<row>" for row nodes; the token text for value nodes.
   const std::string& label(NodeId n) const { return labels_[n]; }
 
-  /// Neighbors of `n` and matching edge weights.
+  /// Base-segment neighbors of `n` and matching edge weights (empty for
+  /// nodes appended after the base CSR was built). Callers that must see
+  /// appended edges combine these with DeltaNeighbors/DeltaWeights or demand
+  /// a compacted graph.
   std::span<const NodeId> Neighbors(NodeId n) const {
+    if (static_cast<size_t>(n) >= BaseNodes()) return {};
     return {targets_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
   }
   std::span<const float> Weights(NodeId n) const {
+    if (static_cast<size_t>(n) >= BaseNodes()) return {};
     return {weights_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
   }
-  size_t Degree(NodeId n) const { return offsets_[n + 1] - offsets_[n]; }
+  /// Delta-segment adjacency of `n` (empty when no update touched it).
+  /// Sorted by target, like the base lists.
+  std::span<const NodeId> DeltaNeighbors(NodeId n) const {
+    if (delta_offsets_.empty()) return {};
+    return {delta_targets_.data() + delta_offsets_[n],
+            delta_offsets_[n + 1] - delta_offsets_[n]};
+  }
+  std::span<const float> DeltaWeights(NodeId n) const {
+    if (delta_offsets_.empty()) return {};
+    return {delta_weights_.data() + delta_offsets_[n],
+            delta_offsets_[n + 1] - delta_offsets_[n]};
+  }
+
+  size_t BaseDegree(NodeId n) const {
+    if (static_cast<size_t>(n) >= BaseNodes()) return 0;
+    return offsets_[n + 1] - offsets_[n];
+  }
+  size_t DeltaDegree(NodeId n) const {
+    if (delta_offsets_.empty()) return 0;
+    return delta_offsets_[n + 1] - delta_offsets_[n];
+  }
+  /// Combined (base + delta) degree — what every weighting/normalization
+  /// consumer means by "degree".
+  size_t Degree(NodeId n) const { return BaseDegree(n) + DeltaDegree(n); }
 
   /// Row node for row `row` of the table named `table`, or kInvalidNode.
+  /// Covers appended rows: past the contiguous base block, the extra row
+  /// segments registered by RegisterExtraTableRows are searched.
   NodeId RowNode(const std::string& table, size_t row) const;
-  /// (first row node id, row count) registered for `table`, or
-  /// {kInvalidNode, 0}. Row node ids are contiguous — node for row r is
-  /// first + r — so batch callers can resolve the table name hash once and
-  /// address every row arithmetically instead of via per-row label strings.
+  /// (first row node id, row count) registered for the *base block* of
+  /// `table`, or {kInvalidNode, 0}. Row node ids in the block are contiguous
+  /// — node for row r is first + r — so batch callers can resolve the table
+  /// name hash once and address every row arithmetically instead of via
+  /// per-row label strings. Rows appended by updates live in separate
+  /// segments (TableRowCount > second here is the tell).
   std::pair<NodeId, size_t> TableRows(const std::string& table) const;
+  /// Total rows of `table` across the base block and every appended segment.
+  size_t TableRowCount(const std::string& table) const;
   /// Value node for `token`, or kInvalidNode.
   NodeId ValueNode(std::string_view token) const;
+
+  // --- Streaming-update surface -------------------------------------------
+
+  /// Appends `kinds`/`labels` as new nodes (ids continue from NumNodes())
+  /// and lays `edges` into the delta segment. Fails without mutating on an
+  /// out-of-range endpoint, a duplicate value-node label, or a weight that
+  /// is not finite and positive. Value-node labels join the lookup index
+  /// immediately. Delta adjacency is kept sorted by target so node2vec's
+  /// binary-searched transitions stay valid.
+  Status ApplyDelta(const std::vector<NodeKind>& kinds,
+                    const std::vector<std::string>& labels,
+                    const std::vector<GraphDeltaEdge>& edges);
+
+  /// Registers `count` appended row nodes `first_node..` as logical rows
+  /// `first_row..` of `table` (an extra, non-contiguous row segment).
+  void RegisterExtraTableRows(const std::string& table, size_t first_row,
+                              NodeId first_node, size_t count);
+
+  /// True when any node or edge lives outside the base CSR — i.e. the graph
+  /// must be compacted before Save (Save serializes the base arrays only).
+  bool HasDelta() const {
+    return NumNodes() > BaseNodes() || !delta_targets_.empty();
+  }
+  /// Directed delta adjacency slots (2x undirected delta edges).
+  size_t DeltaSlots() const { return delta_targets_.size(); }
+  /// Starting slot of `n`'s delta adjacency within the flat delta arrays (0
+  /// when no delta exists) — the delta analogue of offsets()[n], used by the
+  /// batched engine's combined flat alias layout.
+  uint64_t DeltaSlotOffset(NodeId n) const {
+    return delta_offsets_.empty() ? 0 : delta_offsets_[n];
+  }
+
+  /// A copy of this graph with the delta segments merged into one base CSR.
+  /// Node ids are preserved exactly; per-node adjacency stays sorted. When
+  /// `reweight` is set, every edge weight is recomputed as 1/deg(value
+  /// endpoint) — the Section 3.2 weighting — so weights staled by appended
+  /// edges are repaired in the same pass (pass the GraphOptions::weighted
+  /// flag the graph was built with).
+  Result<LevaGraph> Compacted(bool reweight) const;
 
   /// All node ids of the given kind, in id order.
   std::vector<NodeId> NodesOfKind(NodeKind kind) const;
@@ -135,11 +231,26 @@ class LevaGraph {
   OwnedOrMapped<uint64_t> offsets_;  // size NumNodes()+1
   OwnedOrMapped<NodeId> targets_;
   OwnedOrMapped<float> weights_;
+  // Delta segments: a second CSR over all nodes holding edges appended by
+  // ApplyDelta. Owned heap vectors always (updates never mutate a mapped
+  // base). Empty offsets_ vector <=> no delta applied yet.
+  std::vector<uint64_t> delta_offsets_;  // size NumNodes()+1 when non-empty
+  std::vector<NodeId> delta_targets_;
+  std::vector<float> delta_weights_;
   std::unordered_map<std::string, NodeId, TransparentStringHash,
                      std::equal_to<>>
       value_index_;
   // table name -> (first row node id, row count)
   std::unordered_map<std::string, std::pair<NodeId, size_t>> row_index_;
+  // Row nodes appended by updates are not contiguous with the base block:
+  // each batch contributes one (first logical row, first node id, count)
+  // segment per table, in logical-row order.
+  struct ExtraRowSegment {
+    size_t first_row;
+    NodeId first_node;
+    size_t count;
+  };
+  std::unordered_map<std::string, std::vector<ExtraRowSegment>> extra_rows_;
   GraphStats stats_;
 };
 

@@ -146,8 +146,10 @@ Result<Table> ReadCsvString(std::string_view content,
     }
     if (raw_columns.empty()) raw_columns.resize(fields.size());
     if (fields.size() != raw_columns.size()) {
+      // 1-based data-row numbering (the header is not a data row), matching
+      // what a user counting lines in their editor expects.
       return Status::InvalidArgument(
-          "row " + std::to_string(row_count) + " has " +
+          "data row " + std::to_string(row_count + 1) + " has " +
           std::to_string(fields.size()) + " fields, expected " +
           std::to_string(raw_columns.size()));
     }
@@ -208,7 +210,14 @@ Result<Table> ReadCsvFile(const std::string& path,
                            (errno != 0 ? std::strerror(errno)
                                        : "unknown stream error"));
   }
-  return ReadCsvString(ss.str(), table_name, options);
+  Result<Table> table = ReadCsvString(ss.str(), table_name, options);
+  if (!table.ok()) {
+    // Parse errors name the offending row; add which file it came from so a
+    // multi-table load points at the right CSV.
+    return Status(table.status().code(),
+                  std::string(table.status().message()) + " in '" + path + "'");
+  }
+  return table;
 }
 
 std::string WriteCsvString(const Table& table, char delimiter) {

@@ -480,6 +480,7 @@ const char* OpName(OpKind k) {
     case OpKind::kClose: return "close";
     case OpKind::kRename: return "rename";
     case OpKind::kSyncDir: return "syncdir";
+    case OpKind::kRead: return "read";
   }
   return "?";
 }

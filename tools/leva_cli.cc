@@ -23,9 +23,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/io.h"
 #include "common/parallel.h"
 #include "core/pipeline.h"
+#include "core/update_log.h"
 #include "ml/featurize.h"
 #include "table/csv.h"
 
@@ -41,6 +44,11 @@ struct CliOptions {
   std::string save_model;
   std::string load_model;
   std::string reload_model;
+  // Streaming updates: batches of new rows (name -> csv path) appended to
+  // the live model via LevaPipeline::Update, optionally made durable first
+  // through the write-ahead log at `wal_path`.
+  std::vector<std::pair<std::string, std::string>> update_csvs;
+  std::string wal_path;
   SnapshotLoadOptions load_options;
   LevaConfig config;
   // True when --quantize was given: --save-model then requantizes to the
@@ -70,7 +78,12 @@ void PrintUsage() {
       "                [--no-verify-pages (defer per-page checksums; pair "
       "with --mmap for O(1) load)]\n"
       "                [--reload-model FILE (after the model is up, hot-swap "
-      "to this snapshot and report swap latency)]\n");
+      "to this snapshot and report swap latency)]\n"
+      "                [--update-csv NAME=FILE.csv (append FILE's rows to "
+      "fitted table NAME via the streaming-update path; repeatable)]\n"
+      "                [--wal FILE (write-ahead log for --update-csv: "
+      "batches are logged+fsynced before applying, and any records past the "
+      "loaded snapshot's position are replayed first)]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -198,6 +211,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--reload-model");
       if (v == nullptr) return false;
       options->reload_model = v;
+    } else if (arg == "--update-csv") {
+      const char* v = next("--update-csv");
+      if (v == nullptr) return false;
+      const std::string spec(v);
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--update-csv expects NAME=FILE.csv, got '%s'\n",
+                     v);
+        return false;
+      }
+      options->update_csvs.emplace_back(spec.substr(0, eq),
+                                        spec.substr(eq + 1));
+    } else if (arg == "--wal") {
+      const char* v = next("--wal");
+      if (v == nullptr) return false;
+      options->wal_path = v;
     } else if (arg == "--featurize") {
       if (i + 3 >= argc) {
         std::fprintf(stderr, "--featurize expects TABLE TARGET OUT.csv\n");
@@ -273,6 +302,60 @@ int RunCli(const CliOptions& options) {
       const std::string& note = pipeline.profile().annotation(stage);
       std::fprintf(stderr, "  %s: %.3fs%s%s\n", stage.c_str(), secs,
                    note.empty() ? "" : " ", note.c_str());
+    }
+  }
+  if (!options.wal_path.empty() || !options.update_csvs.empty()) {
+    // Recover-then-update: any records a previous process acknowledged into
+    // the WAL but never captured in a snapshot are replayed first, so the
+    // new batches append after a consistent prefix.
+    std::unique_ptr<UpdateLog> wal;
+    if (!options.wal_path.empty()) {
+      if (Env::Default()->FileExists(options.wal_path)) {
+        auto replayed = pipeline.RecoverFromLog(options.wal_path);
+        if (!replayed.ok()) {
+          std::fprintf(stderr, "wal replay: %s\n",
+                       replayed.status().ToString().c_str());
+          return 1;
+        }
+        if (*replayed > 0) {
+          std::fprintf(stderr, "replayed %zu update record(s) from %s\n",
+                       *replayed, options.wal_path.c_str());
+        }
+      }
+      auto opened = UpdateLog::Open(options.wal_path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "wal open: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      wal = std::move(*opened);
+    }
+    for (const auto& [name, path] : options.update_csvs) {
+      auto table = ReadCsvFile(path, name);
+      if (!table.ok()) {
+        std::fprintf(stderr, "loading %s: %s\n", path.c_str(),
+                     table.status().ToString().c_str());
+        return 1;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      auto result = pipeline.Update(*table, wal.get());
+      if (!result.ok()) {
+        std::fprintf(stderr, "update %s: %s\n", name.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      std::fprintf(stderr,
+                   "updated %s: %zu row(s), +%zu value node(s), +%zu "
+                   "edge(s), %zu vector(s) refreshed in %.3fs%s%s "
+                   "(wal offset %llu)\n",
+                   name.c_str(), result->rows_applied,
+                   result->new_value_nodes, result->new_edges,
+                   result->refreshed_vectors, elapsed.count(),
+                   result->compacted ? ", compacted" : "",
+                   result->full_refit ? ", full refit" : "",
+                   static_cast<unsigned long long>(result->wal_offset));
     }
   }
   if (!options.save_model.empty()) {
