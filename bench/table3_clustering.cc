@@ -14,20 +14,6 @@
 namespace leva {
 namespace {
 
-struct Percentiles {
-  double p50 = 0;
-  double p90 = 0;
-};
-
-Percentiles ComputePercentiles(std::vector<double> values) {
-  Percentiles out;
-  if (values.empty()) return out;
-  std::sort(values.begin(), values.end());
-  out.p50 = values[values.size() / 2];
-  out.p90 = values[values.size() * 9 / 10];
-  return out;
-}
-
 // Median pairwise L1 distance of up to `group_size` embedded rows.
 double GroupMedianDistance(const Embedding& emb, const std::string& table,
                            const std::vector<size_t>& rows) {
@@ -40,9 +26,8 @@ double GroupMedianDistance(const Embedding& emb, const std::string& table,
       distances.push_back(Embedding::L1Distance(a, b));
     }
   }
-  if (distances.empty()) return 0;
   std::sort(distances.begin(), distances.end());
-  return distances[distances.size() / 2];
+  return bench::Percentile(distances, 50);
 }
 
 void Run() {
@@ -97,8 +82,8 @@ void Run() {
         random.push_back(GroupMedianDistance(emb, "base", rand_rows));
         if (++produced >= kMaxEntities) break;
       }
-      const Percentiles w = ComputePercentiles(within);
-      const Percentiles r = ComputePercentiles(random);
+      const bench::LatencySummary w = bench::SummarizeLatencies(within);
+      const bench::LatencySummary r = bench::SummarizeLatencies(random);
       const double ratio = r.p50 > 0 ? w.p50 / r.p50 : 0.0;
       std::printf("%-12s%-12s", name.c_str(),
                   method == EmbeddingMethod::kRandomWalk ? "RW" : "MF");

@@ -1,16 +1,88 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cstdarg>
+#include <ctime>
+#include <string>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <functional>
+#include <thread>
+#endif
+
 namespace leva {
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+unsigned long CurrentThreadId() {
+#ifdef __linux__
+  return static_cast<unsigned long>(::syscall(SYS_gettid));
+#else
+  return static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+}
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 bool ShouldLog(LogLevel level) {
-  return static_cast<int>(level) >= static_cast<int>(g_level);
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void LogRecord(const char* level_name, const char* fmt, ...) {
+  // Prefix: "[Info 12:34:56.789 1234] ".
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_buf;
+  localtime_r(&ts.tv_sec, &tm_buf);
+  char prefix[64];
+  const int prefix_len = std::snprintf(
+      prefix, sizeof prefix, "[%s %02d:%02d:%02d.%03ld %lu] ", level_name,
+      tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec, ts.tv_nsec / 1000000,
+      CurrentThreadId());
+
+  // Render the message once to learn its length, into a stack buffer that
+  // covers virtually every record; spill to the heap for the rare long one.
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char stack_msg[512];
+  const int msg_len = std::vsnprintf(stack_msg, sizeof stack_msg, fmt, args);
+  va_end(args);
+  if (msg_len < 0) {
+    va_end(args_copy);
+    return;
+  }
+
+  std::string line;
+  line.reserve(static_cast<size_t>(prefix_len) + static_cast<size_t>(msg_len) +
+               1);
+  line.assign(prefix, static_cast<size_t>(prefix_len));
+  if (static_cast<size_t>(msg_len) < sizeof stack_msg) {
+    line.append(stack_msg, static_cast<size_t>(msg_len));
+  } else {
+    std::string big(static_cast<size_t>(msg_len) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, args_copy);
+    big.resize(static_cast<size_t>(msg_len));
+    line.append(big);
+  }
+  va_end(args_copy);
+  line.push_back('\n');
+
+  // One call, one record: stdio locks the stream per call, so concurrent
+  // threads emit whole lines, never interleaved fragments.
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace internal_logging
 

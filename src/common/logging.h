@@ -10,23 +10,30 @@ namespace leva {
 /// reported tables clean; tests may set kDebug.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level (trivially destructible global).
+/// Process-wide minimum level. Safe to read and set from any thread (the
+/// serving daemon's I/O loop, the batch dispatcher, and pool workers all
+/// log concurrently).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 namespace internal_logging {
 bool ShouldLog(LogLevel level);
+/// Formats one record — "[Level HH:MM:SS.mmm tid] message\n" — into a single
+/// buffer and emits it with one stdio call, so records from concurrent
+/// threads never interleave mid-line. `level_name` is the enumerator name
+/// without its leading 'k'.
+void LogRecord(const char* level_name, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 }  // namespace internal_logging
 
 }  // namespace leva
 
-/// printf-style leveled logging to stderr.
+/// printf-style leveled logging to stderr. Each invocation emits exactly one
+/// write, so concurrent threads cannot produce partial-line interleavings.
 #define LEVA_LOG(level, ...)                                              \
   do {                                                                    \
     if (::leva::internal_logging::ShouldLog(::leva::LogLevel::level)) {   \
-      std::fprintf(stderr, "[%s] ", #level + 1);                          \
-      std::fprintf(stderr, __VA_ARGS__);                                  \
-      std::fprintf(stderr, "\n");                                         \
+      ::leva::internal_logging::LogRecord(#level + 1, __VA_ARGS__);       \
     }                                                                     \
   } while (0)
 

@@ -1,0 +1,228 @@
+#include "serve/batcher.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "ml/featurize.h"
+
+namespace leva::serve {
+
+namespace {
+uint64_t HashCombine(uint64_t seed, std::string_view s) {
+  // FNV-1a over the bytes, folded into the running seed (splitmix-style mix).
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  seed ^= h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  return seed;
+}
+}  // namespace
+
+uint64_t RequestBatcher::SchemaSignature(const FeaturizeRequest& request) {
+  uint64_t sig = HashCombine(0, request.rows.name());
+  sig = HashCombine(sig, request.target_column);
+  for (const Column& c : request.rows.columns()) {
+    sig = HashCombine(sig, c.name);
+    const char type = static_cast<char>(c.type);
+    sig = HashCombine(sig, std::string_view(&type, 1));
+  }
+  return sig;
+}
+
+RequestBatcher::RequestBatcher(BatcherOptions options, Executor executor,
+                               CompletionSink sink, ServerStats* stats)
+    : options_(options),
+      executor_(std::move(executor)),
+      sink_(std::move(sink)),
+      stats_(stats) {}
+
+RequestBatcher::~RequestBatcher() { Stop(); }
+
+void RequestBatcher::Start() {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+bool RequestBatcher::TryEnqueue(FeaturizeJob job) {
+  const size_t rows = job.request.rows.NumRows();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_ || pending_rows_ + rows > options_.max_pending_rows) return false;
+  job.schema_sig = SchemaSignature(job.request);
+  job.enqueued_at = std::chrono::steady_clock::now();
+  pending_rows_ += rows;
+  queue_.push_back(std::move(job));
+  cv_.notify_all();
+  return true;
+}
+
+void RequestBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+size_t RequestBatcher::PendingRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_rows_;
+}
+
+void RequestBatcher::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stopped and drained
+
+    // Hold the oldest request for up to max_delay_us hoping peers arrive to
+    // coalesce with — unless it already has a full batch behind it, can
+    // never coalesce (rows_in_graph), or we are draining.
+    if (!stop_ && !queue_.front().request.rows_in_graph &&
+        pending_rows_ < options_.max_batch_rows) {
+      const auto deadline =
+          queue_.front().enqueued_at +
+          std::chrono::microseconds(options_.max_delay_us);
+      cv_.wait_until(lock, deadline, [&] {
+        return stop_ || pending_rows_ >= options_.max_batch_rows;
+      });
+      if (queue_.empty()) continue;
+    }
+
+    // Collect the maximal same-schema prefix within the row budget. The
+    // first job always ships (even oversized, even in-graph) so nothing can
+    // starve; in-graph jobs ship alone.
+    std::vector<FeaturizeJob> batch;
+    size_t rows = 0;
+    while (!queue_.empty()) {
+      FeaturizeJob& front = queue_.front();
+      const size_t front_rows = front.request.rows.NumRows();
+      const bool solo = front.request.rows_in_graph;
+      if (!batch.empty() &&
+          (solo || front.schema_sig != batch.front().schema_sig ||
+           rows + front_rows > options_.max_batch_rows)) {
+        break;
+      }
+      rows += front_rows;
+      batch.push_back(std::move(front));
+      queue_.pop_front();
+      if (solo || rows >= options_.max_batch_rows) break;
+    }
+    pending_rows_ -= rows;
+
+    lock.unlock();
+    ExecuteBatch(std::move(batch), rows);
+    lock.lock();
+  }
+}
+
+void RequestBatcher::ExecuteBatch(std::vector<FeaturizeJob> batch,
+                                  size_t total_rows) {
+  // Coalesce: a singleton batch executes on its own table (no copy); a
+  // coalesced one moves every job's cells into one concatenated table.
+  Table combined;
+  const FeaturizeJob& first = batch.front();
+  const Table* exec_table = &first.request.rows;
+  if (batch.size() > 1) {
+    combined.set_name(first.request.rows.name());
+    for (size_t c = 0; c < first.request.rows.NumColumns(); ++c) {
+      Column col;
+      col.name = first.request.rows.column(c).name;
+      col.type = first.request.rows.column(c).type;
+      col.values.reserve(total_rows);
+      for (FeaturizeJob& job : batch) {
+        auto& src = job.request.rows.mutable_column(c).values;
+        for (Value& v : src) col.values.push_back(std::move(v));
+      }
+      (void)combined.AddColumn(std::move(col));
+    }
+    exec_table = &combined;
+  }
+
+  WallTimer exec_timer;
+  Result<MLDataset> result = executor_(*exec_table, first.request.target_column,
+                                       first.request.rows_in_graph);
+  const double exec_seconds = exec_timer.ElapsedSeconds();
+  const auto done = std::chrono::steady_clock::now();
+
+  if (result.ok() && result->NumRows() != total_rows) {
+    result = Status::Internal(
+        "featurize returned " + std::to_string(result->NumRows()) +
+        " row(s) for a " + std::to_string(total_rows) + "-row batch");
+  }
+
+  std::vector<Completion> completions;
+  completions.reserve(batch.size());
+  size_t row_offset = 0;
+  for (const FeaturizeJob& job : batch) {
+    const size_t job_rows = job.request.rows.NumRows();
+    Completion c;
+    c.conn_id = job.conn_id;
+    c.request_id = job.request.request_id;
+    c.latency_seconds =
+        std::chrono::duration<double>(done - job.enqueued_at).count();
+    if (result.ok()) {
+      c.payload = EncodeFeaturizeResponse(
+          c.request_id, job_rows, result->NumFeatures(),
+          result->x.RowPtr(row_offset));
+    } else {
+      c.payload = EncodeErrorResponse(Opcode::kFeaturize, c.request_id,
+                                      result.status());
+    }
+    row_offset += job_rows;
+    if (stats_ != nullptr) stats_->request_latency.Record(c.latency_seconds);
+    completions.push_back(std::move(c));
+  }
+
+  if (stats_ != nullptr) {
+    stats_->batches_executed.fetch_add(1, std::memory_order_relaxed);
+    stats_->rows_featurized.fetch_add(total_rows, std::memory_order_relaxed);
+    stats_->batch_latency.Record(exec_seconds);
+    if (!result.ok()) {
+      stats_->featurize_errors.fetch_add(batch.size(),
+                                         std::memory_order_relaxed);
+    }
+  }
+  if (!result.ok()) {
+    LEVA_LOG(kWarning, "featurize batch of %zu request(s), %zu row(s): %s",
+             batch.size(), total_rows, result.status().ToString().c_str());
+  }
+  sink_(std::move(completions));
+}
+
+Result<MLDataset> ExecuteFeaturize(const LevaPipeline& pipeline, Table rows,
+                                   std::string target_column,
+                                   bool rows_in_graph) {
+  if (rows.NumRows() == 0) {
+    return Status::InvalidArgument("FEATURIZE request with zero rows");
+  }
+  bool synthetic_target = false;
+  if (target_column.empty()) {
+    target_column = kSyntheticTargetColumn;
+    Column y;
+    y.name = target_column;
+    y.type = DataType::kDouble;
+    y.values.assign(rows.NumRows(), Value(0.0));
+    LEVA_RETURN_IF_ERROR(rows.AddColumn(std::move(y)));
+    synthetic_target = true;
+  }
+  const Column* target = rows.FindColumn(target_column);
+  if (target == nullptr) {
+    return Status::NotFound("no target column '" + target_column +
+                            "' in FEATURIZE rows");
+  }
+  // The synthetic target is numeric by construction; a client-supplied one
+  // follows the CLI convention — classification first, regression fallback.
+  TargetEncoder encoder;
+  if (synthetic_target) {
+    LEVA_RETURN_IF_ERROR(encoder.Fit(*target, /*classification=*/false));
+  } else if (!encoder.Fit(*target, /*classification=*/true).ok()) {
+    LEVA_RETURN_IF_ERROR(encoder.Fit(*target, /*classification=*/false));
+  }
+  return pipeline.Featurize(rows, target_column, encoder, rows_in_graph);
+}
+
+}  // namespace leva::serve

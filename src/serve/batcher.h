@@ -1,0 +1,135 @@
+#ifndef LEVA_SERVE_BATCHER_H_
+#define LEVA_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "serve/protocol.h"
+#include "serve/stats.h"
+
+namespace leva {
+class LevaPipeline;
+}  // namespace leva
+
+namespace leva::serve {
+
+/// Batching and backpressure policy.
+struct BatcherOptions {
+  /// Coalescing target: a batch flushes as soon as its rows reach this.
+  /// 1 disables coalescing — every request executes alone (the baseline the
+  /// serving bench compares against).
+  size_t max_batch_rows = 256;
+  /// How long the oldest pending request may wait for peers to coalesce
+  /// with before the batch flushes anyway.
+  size_t max_delay_us = 1000;
+  /// Admission bound: total rows admitted-but-unexecuted. An arrival that
+  /// would exceed it is rejected (the server answers OVERLOADED) instead of
+  /// buffered, so a saturated daemon holds constant memory.
+  size_t max_pending_rows = 8192;
+};
+
+/// One admitted FEATURIZE request awaiting execution.
+struct FeaturizeJob {
+  uint64_t conn_id = 0;
+  FeaturizeRequest request;
+  std::chrono::steady_clock::time_point enqueued_at{};
+  uint64_t schema_sig = 0;  ///< set on admission; batches never cross it
+};
+
+/// A finished request: the encoded (unframed) response payload routed back
+/// to `conn_id`.
+struct Completion {
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+  double latency_seconds = 0;
+};
+
+/// Coalesces concurrent FEATURIZE requests into one blocked-gather Featurize
+/// call. Requests are admitted from the I/O loop into a bounded queue; a
+/// dispatcher thread forms batches under a max-rows/max-delay policy —
+/// flush when `max_batch_rows` are pending, or when the oldest request has
+/// waited `max_delay_us` — executes them through the supplied executor (the
+/// pipeline's batched Featurize, whose gather fans out on the common
+/// parallel.h pool), slices the result matrix back per request, and hands
+/// the completions to the sink.
+///
+/// Coalescing is sound because a row's feature vector is a pure function of
+/// the row and the served model — Featurize output is documented invariant
+/// to batch composition — with one exception: rows_in_graph requests address
+/// row nodes by table position, so they always execute as singleton batches.
+/// Batches also never mix schemas (table name, target column, column
+/// names/types): a schema change cuts the batch.
+class RequestBatcher {
+ public:
+  using Executor = std::function<Result<MLDataset>(
+      Table rows, std::string target_column, bool rows_in_graph)>;
+  using CompletionSink = std::function<void(std::vector<Completion>)>;
+
+  RequestBatcher(BatcherOptions options, Executor executor,
+                 CompletionSink sink, ServerStats* stats);
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Spawns the dispatcher thread.
+  void Start();
+
+  /// Admits `job` unless the pending-rows bound would be exceeded (or the
+  /// batcher is stopping). Returns false on rejection — the caller responds
+  /// OVERLOADED; nothing was buffered.
+  bool TryEnqueue(FeaturizeJob job);
+
+  /// Drains: already-admitted jobs execute to completion (their completions
+  /// reach the sink), then the dispatcher exits and is joined. Idempotent.
+  /// New TryEnqueue calls fail once stopping begins.
+  void Stop();
+
+  size_t PendingRows() const;
+
+  /// Schema fingerprint two requests must share to share a batch.
+  static uint64_t SchemaSignature(const FeaturizeRequest& request);
+
+ private:
+  void DispatchLoop();
+  void ExecuteBatch(std::vector<FeaturizeJob> batch, size_t total_rows);
+
+  const BatcherOptions options_;
+  const Executor executor_;
+  const CompletionSink sink_;
+  ServerStats* const stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<FeaturizeJob> queue_;
+  size_t pending_rows_ = 0;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+/// The canonical executor: featurizes `rows` against `pipeline` exactly as
+/// the offline path would. An empty `target_column` appends a synthetic
+/// all-zero regression target (Featurize requires one; pure serving requests
+/// have none — the target never influences the feature matrix, only the
+/// unused y). Exposed so differential tests and benches can compute the
+/// expected bits offline through the identical code path.
+Result<MLDataset> ExecuteFeaturize(const LevaPipeline& pipeline, Table rows,
+                                   std::string target_column,
+                                   bool rows_in_graph);
+
+/// Column name ExecuteFeaturize appends when no target is given.
+inline constexpr const char* kSyntheticTargetColumn = "__leva_served_y";
+
+}  // namespace leva::serve
+
+#endif  // LEVA_SERVE_BATCHER_H_

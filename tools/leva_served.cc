@@ -1,0 +1,167 @@
+// leva_served: the batched embedding-serving daemon.
+//
+// Loads a fitted pipeline snapshot and serves FEATURIZE / PING / STATS /
+// RELOAD / DRAIN over the framed TCP protocol (src/serve/protocol.h).
+// SIGTERM or SIGINT triggers a graceful drain: admitted work finishes,
+// responses flush, then the process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.h"
+#include "serve/server.h"
+
+namespace leva::serve {
+namespace {
+
+struct ServedOptions {
+  std::string model;
+  std::string port_file;  ///< write the bound port here (scripts + ephemeral)
+  ServerOptions server;
+  SnapshotLoadOptions load;
+  size_t threads = 0;
+  bool show_help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: leva_served --model SNAPSHOT [--host H] [--port P (0 = "
+      "ephemeral)]\n"
+      "                   [--port-file FILE (write the bound port)]\n"
+      "                   [--max-batch-rows N (1 disables coalescing)]\n"
+      "                   [--max-delay-us N] [--max-pending-rows N]\n"
+      "                   [--drain-timeout-ms N] [--threads N (0 = all)]\n"
+      "                   [--mmap] [--no-verify-pages]\n");
+}
+
+bool ParseArgs(int argc, char** argv, ServedOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      options->show_help = true;
+      return true;
+    } else if (arg == "--model") {
+      const char* v = next("--model");
+      if (v == nullptr) return false;
+      options->model = v;
+    } else if (arg == "--host") {
+      const char* v = next("--host");
+      if (v == nullptr) return false;
+      options->server.host = v;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      options->server.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--port-file") {
+      const char* v = next("--port-file");
+      if (v == nullptr) return false;
+      options->port_file = v;
+    } else if (arg == "--max-batch-rows") {
+      const char* v = next("--max-batch-rows");
+      if (v == nullptr) return false;
+      options->server.batcher.max_batch_rows =
+          static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--max-delay-us") {
+      const char* v = next("--max-delay-us");
+      if (v == nullptr) return false;
+      options->server.batcher.max_delay_us =
+          static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--max-pending-rows") {
+      const char* v = next("--max-pending-rows");
+      if (v == nullptr) return false;
+      options->server.batcher.max_pending_rows =
+          static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--drain-timeout-ms") {
+      const char* v = next("--drain-timeout-ms");
+      if (v == nullptr) return false;
+      options->server.drain_timeout_ms = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr) return false;
+      options->threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--mmap") {
+      options->load.use_mmap = true;
+    } else if (arg == "--no-verify-pages") {
+      options->load.verify_pages = false;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->model.empty() && !options->show_help) {
+    std::fprintf(stderr, "--model is required\n");
+    return false;
+  }
+  return true;
+}
+
+Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+int Run(int argc, char** argv) {
+  ServedOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 1;
+  }
+  if (options.show_help) {
+    PrintUsage();
+    return 0;
+  }
+
+  LevaConfig config;
+  LevaPipeline pipeline(config);
+  if (Status s = pipeline.LoadSnapshot(options.model, nullptr, options.load);
+      !s.ok()) {
+    std::fprintf(stderr, "load %s: %s\n", options.model.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  if (options.threads != 0) {
+    pipeline.set_serving_options(options.threads, /*batch_size=*/0);
+  }
+
+  Server server(&pipeline, options.server);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (!options.port_file.empty()) {
+    std::FILE* f = std::fopen(options.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", options.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", unsigned{server.port()});
+    std::fclose(f);
+  }
+
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  server.Join();  // returns when the graceful drain completes
+  g_server = nullptr;
+  return 0;
+}
+
+}  // namespace
+}  // namespace leva::serve
+
+int main(int argc, char** argv) { return leva::serve::Run(argc, argv); }
